@@ -1,0 +1,83 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrate itself:
+ * event-queue throughput, coroutine switch cost, host SPSC queue
+ * operation cost, and whole-simulation event rate. These guard the
+ * simulator's own performance (the macrobenchmark sweeps run hundreds of
+ * millions of events).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/cq.hpp"
+#include "core/microbench.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/task.hpp"
+
+namespace
+{
+
+using namespace cni;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < state.range(0); ++i)
+            eq.scheduleAt(i, [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+void
+BM_CoroutineDelayChain(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        TaskGroup group(eq);
+        group.spawn([](EventQueue &eq, int n) -> CoTask<void> {
+            for (int i = 0; i < n; ++i)
+                co_await delay(eq, 1);
+        }(eq, static_cast<int>(state.range(0))));
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoroutineDelayChain)->Arg(1024)->Arg(16384);
+
+void
+BM_HostCqEnqueueDequeue(benchmark::State &state)
+{
+    cq::SpscCachableQueue<std::uint64_t> q(
+        static_cast<std::size_t>(state.range(0)));
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(q.tryEnqueue(i++));
+        std::uint64_t v;
+        benchmark::DoNotOptimize(q.tryDequeue(v));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HostCqEnqueueDequeue)->Arg(8)->Arg(512);
+
+void
+BM_SimulatedRoundTrip(benchmark::State &state)
+{
+    setVerbose(false);
+    for (auto _ : state) {
+        SystemConfig cfg(NiModel::CNI512Q, NiPlacement::MemoryBus);
+        cfg.numNodes = 2;
+        auto r = roundTripLatency(cfg, 64, /*rounds=*/4, /*warmup=*/2);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+}
+BENCHMARK(BM_SimulatedRoundTrip)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Diagnostic: one streamBandwidth measurement per NI model/placement with
+ * progress output. Not part of the paper's tables.
+ */
+
+#include <cstdio>
+
+#include "core/microbench.hpp"
+#include "sim/logging.hpp"
+
+using namespace cni;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const std::size_t bytes = argc > 1 ? std::stoul(argv[1]) : 64;
+    const int messages = argc > 2 ? std::atoi(argv[2]) : 256;
+
+    struct Case
+    {
+        NiModel m;
+        NiPlacement p;
+    };
+    const Case cases[] = {
+        {NiModel::NI2w, NiPlacement::CacheBus},
+        {NiModel::NI2w, NiPlacement::MemoryBus},
+        {NiModel::CNI4, NiPlacement::MemoryBus},
+        {NiModel::CNI16Q, NiPlacement::MemoryBus},
+        {NiModel::CNI512Q, NiPlacement::MemoryBus},
+        {NiModel::CNI16Qm, NiPlacement::MemoryBus},
+        {NiModel::NI2w, NiPlacement::IoBus},
+        {NiModel::CNI4, NiPlacement::IoBus},
+        {NiModel::CNI16Q, NiPlacement::IoBus},
+        {NiModel::CNI512Q, NiPlacement::IoBus},
+    };
+    for (const auto &c : cases) {
+        SystemConfig cfg(c.m, c.p);
+        cfg.numNodes = 2;
+        std::printf("%-10s %-10s ...", toString(c.m), toString(c.p));
+        std::fflush(stdout);
+        auto r = streamBandwidth(cfg, bytes, messages, messages / 8);
+        std::printf(" %8.1f MB/s (%.3f rel)\n", r.megabytesPerSec,
+                    r.relativeToLocalMax);
+    }
+    return 0;
+}

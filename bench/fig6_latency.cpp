@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 6: process-to-process round-trip message latency vs message size.
+ *
+ *  (a) NI2w, CNI4, CNI16Q, CNI512Q, CNI16Qm on the memory bus
+ *  (b) NI2w, CNI4, CNI16Q, CNI512Q on the I/O bus
+ *  (c) best CNI per bus vs NI2w on the cache bus
+ *
+ * Also prints the abstract's headline comparison: the best CNI's
+ * improvement over NI2w for a 64-byte message on each bus.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/microbench.hpp"
+#include "core/system.hpp"
+#include "sim/logging.hpp"
+
+using namespace cni;
+
+namespace
+{
+
+const std::vector<std::size_t> kSizes = {8, 16, 32, 64, 128, 256};
+
+double
+measure(NiModel ni, NiPlacement p, std::size_t bytes)
+{
+    SystemConfig cfg(ni, p);
+    cfg.numNodes = 2;
+    return roundTripLatency(cfg, bytes).microseconds;
+}
+
+void
+panel(const char *title, NiPlacement p,
+      const std::vector<NiModel> &models)
+{
+    std::printf("\n%s\n", title);
+    std::printf("%8s", "bytes");
+    for (auto m : models)
+        std::printf("%10s", toString(m));
+    std::printf("\n");
+    for (auto sz : kSizes) {
+        std::printf("%8zu", sz);
+        for (auto m : models)
+            std::printf("%10.2f", measure(m, p, sz));
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("Figure 6: round-trip latency (microseconds)\n");
+
+    panel("(a) memory bus", NiPlacement::MemoryBus,
+          {NiModel::NI2w, NiModel::CNI4, NiModel::CNI16Q, NiModel::CNI512Q,
+           NiModel::CNI16Qm});
+    panel("(b) I/O bus", NiPlacement::IoBus,
+          {NiModel::NI2w, NiModel::CNI4, NiModel::CNI16Q,
+           NiModel::CNI512Q});
+
+    std::printf("\n(c) alternate buses\n%8s%14s%16s%14s\n", "bytes",
+                "NI2w/cache", "CNI16Qm/memory", "CNI512Q/io");
+    for (auto sz : kSizes) {
+        std::printf("%8zu%14.2f%16.2f%14.2f\n", sz,
+                    measure(NiModel::NI2w, NiPlacement::CacheBus, sz),
+                    measure(NiModel::CNI16Qm, NiPlacement::MemoryBus, sz),
+                    measure(NiModel::CNI512Q, NiPlacement::IoBus, sz));
+    }
+
+    // Headline numbers (abstract): improvement at 64 bytes.
+    const double ni2wMem = measure(NiModel::NI2w, NiPlacement::MemoryBus, 64);
+    const double cniMem =
+        measure(NiModel::CNI16Qm, NiPlacement::MemoryBus, 64);
+    const double ni2wIo = measure(NiModel::NI2w, NiPlacement::IoBus, 64);
+    const double cniIo = measure(NiModel::CNI512Q, NiPlacement::IoBus, 64);
+    // "X% better" in the paper is the speed ratio NI2w/CNI - 1.
+    std::printf("\nheadline (64-byte message round-trip):\n");
+    std::printf("  memory bus: NI2w %.2fus vs CNI16Qm %.2fus -> "
+                "%.0f%% better (paper: 37%%)\n",
+                ni2wMem, cniMem, 100.0 * (ni2wMem / cniMem - 1.0));
+    std::printf("  I/O bus:    NI2w %.2fus vs CNI512Q %.2fus -> "
+                "%.0f%% better (paper: 74%%)\n",
+                ni2wIo, cniIo, 100.0 * (ni2wIo / cniIo - 1.0));
+    return 0;
+}

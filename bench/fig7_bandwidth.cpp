@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Figure 7: process-to-process one-way bandwidth vs message size,
+ * expressed as a fraction of the model's maximum local-queue bandwidth
+ * (the analogue of the paper's 144 MB/s normalization).
+ *
+ *  (a) memory bus, including CNI16Qm with data snarfing
+ *  (b) I/O bus
+ *  (c) best CNI per bus vs NI2w on the cache bus
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/microbench.hpp"
+#include "core/system.hpp"
+#include "sim/logging.hpp"
+
+using namespace cni;
+
+namespace
+{
+
+const std::vector<std::size_t> kSizes = {8,   16,  32,   64,   128,
+                                         256, 512, 1024, 2048, 4096};
+
+BandwidthResult
+measure(NiModel ni, NiPlacement p, std::size_t bytes, bool snarf = false)
+{
+    SystemConfig cfg(ni, p);
+    cfg.numNodes = 2;
+    cfg.snarfing = snarf;
+    // Keep total transferred bytes roughly constant across sizes.
+    const int messages =
+        std::max(24, static_cast<int>(64 * 1024 / std::max<std::size_t>(
+                                                      bytes, 64)));
+    return streamBandwidth(cfg, bytes, messages, messages / 8);
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("Figure 7: bandwidth relative to local-queue max "
+                "(%.0f MB/s)\n",
+                kLocalQueueMaxMBps);
+
+    std::printf("\n(a) memory bus\n%8s%10s%10s%10s%10s%10s%12s\n", "bytes",
+                "NI2w", "CNI4", "CNI16Q", "CNI512Q", "CNI16Qm",
+                "Qm+snarf");
+    for (auto sz : kSizes) {
+        std::printf("%8zu", sz);
+        for (auto m : {NiModel::NI2w, NiModel::CNI4, NiModel::CNI16Q,
+                       NiModel::CNI512Q, NiModel::CNI16Qm}) {
+            std::printf("%10.3f",
+                        measure(m, NiPlacement::MemoryBus, sz)
+                            .relativeToLocalMax);
+        }
+        std::printf("%12.3f",
+                    measure(NiModel::CNI16Qm, NiPlacement::MemoryBus, sz,
+                            true)
+                        .relativeToLocalMax);
+        std::printf("\n");
+    }
+
+    std::printf("\n(b) I/O bus\n%8s%10s%10s%10s%10s\n", "bytes", "NI2w",
+                "CNI4", "CNI16Q", "CNI512Q");
+    for (auto sz : kSizes) {
+        std::printf("%8zu", sz);
+        for (auto m : {NiModel::NI2w, NiModel::CNI4, NiModel::CNI16Q,
+                       NiModel::CNI512Q}) {
+            std::printf("%10.3f",
+                        measure(m, NiPlacement::IoBus, sz)
+                            .relativeToLocalMax);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n(c) alternate buses\n%8s%12s%16s%14s\n", "bytes",
+                "NI2w/cache", "CNI16Qm/memory", "CNI512Q/io");
+    for (auto sz : kSizes) {
+        std::printf("%8zu%12.3f%16.3f%14.3f\n", sz,
+                    measure(NiModel::NI2w, NiPlacement::CacheBus, sz)
+                        .relativeToLocalMax,
+                    measure(NiModel::CNI16Qm, NiPlacement::MemoryBus, sz)
+                        .relativeToLocalMax,
+                    measure(NiModel::CNI512Q, NiPlacement::IoBus, sz)
+                        .relativeToLocalMax);
+    }
+
+    // Headline numbers (abstract): 64-byte message bandwidth.
+    const double ni2wMem =
+        measure(NiModel::NI2w, NiPlacement::MemoryBus, 64).megabytesPerSec;
+    const double cniMem =
+        measure(NiModel::CNI16Qm, NiPlacement::MemoryBus, 64)
+            .megabytesPerSec;
+    const double ni2wIo =
+        measure(NiModel::NI2w, NiPlacement::IoBus, 64).megabytesPerSec;
+    const double cniIo =
+        measure(NiModel::CNI512Q, NiPlacement::IoBus, 64).megabytesPerSec;
+    std::printf("\nheadline (64-byte message bandwidth):\n");
+    std::printf("  memory bus: NI2w %.1f MB/s vs CNI16Qm %.1f MB/s -> "
+                "+%.0f%% (paper: +125%%)\n",
+                ni2wMem, cniMem, 100.0 * (cniMem - ni2wMem) / ni2wMem);
+    std::printf("  I/O bus:    NI2w %.1f MB/s vs CNI512Q %.1f MB/s -> "
+                "+%.0f%% (paper: +123%%)\n",
+                ni2wIo, cniIo, 100.0 * (cniIo - ni2wIo) / ni2wIo);
+    return 0;
+}

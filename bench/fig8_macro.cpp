@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Figure 8: macrobenchmark speedups of the five NIs on the memory, I/O,
+ * and cache buses, normalized to NI2w on the memory bus; plus the
+ * Section 5.2 memory-bus occupancy comparison (CQ-based CNIs cut
+ * occupancy by up to 66% on average, CNI4 by 23%).
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "sim/logging.hpp"
+
+using namespace cni;
+
+namespace
+{
+
+struct Cell
+{
+    Tick ticks = 0;
+    Tick busOccupied = 0;
+};
+
+using Row = std::map<std::string, Cell>; // config label -> result
+
+Cell
+run(const std::string &app, NiModel m, NiPlacement p)
+{
+    SystemConfig cfg(m, p);
+    AppResult r = runMacrobenchmark(app, cfg);
+    return Cell{r.ticks, r.memBusOccupied};
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    const auto &apps = macrobenchmarkNames();
+
+    std::map<std::string, Row> results;
+    for (const auto &app : apps) {
+        Row &row = results[app];
+        for (NiModel m : {NiModel::NI2w, NiModel::CNI4, NiModel::CNI16Q,
+                          NiModel::CNI512Q, NiModel::CNI16Qm}) {
+            row[std::string(toString(m)) + "/mem"] =
+                run(app, m, NiPlacement::MemoryBus);
+        }
+        for (NiModel m : {NiModel::NI2w, NiModel::CNI4, NiModel::CNI16Q,
+                          NiModel::CNI512Q}) {
+            row[std::string(toString(m)) + "/io"] =
+                run(app, m, NiPlacement::IoBus);
+        }
+        row["NI2w/cache"] = run(app, NiModel::NI2w, NiPlacement::CacheBus);
+        std::fprintf(stderr, "  [%s done]\n", app.c_str());
+    }
+
+    auto speedup = [&](const std::string &app, const std::string &label) {
+        const double base =
+            static_cast<double>(results[app].at("NI2w/mem").ticks);
+        return base / results[app].at(label).ticks;
+    };
+
+    std::printf("Figure 8: speedup over NI2w on the memory bus\n");
+    std::printf("\n(a) memory bus\n%-10s", "app");
+    for (const char *m : {"NI2w", "CNI4", "CNI16Q", "CNI512Q", "CNI16Qm"})
+        std::printf("%10s", m);
+    std::printf("\n");
+    for (const auto &app : apps) {
+        std::printf("%-10s", app.c_str());
+        for (const char *m :
+             {"NI2w", "CNI4", "CNI16Q", "CNI512Q", "CNI16Qm"}) {
+            std::printf("%10.2f", speedup(app, std::string(m) + "/mem"));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n(b) I/O bus\n%-10s", "app");
+    for (const char *m : {"NI2w", "CNI4", "CNI16Q", "CNI512Q"})
+        std::printf("%10s", m);
+    std::printf("\n");
+    for (const auto &app : apps) {
+        std::printf("%-10s", app.c_str());
+        for (const char *m : {"NI2w", "CNI4", "CNI16Q", "CNI512Q"})
+            std::printf("%10.2f", speedup(app, std::string(m) + "/io"));
+        std::printf("\n");
+    }
+
+    std::printf("\n(c) alternate buses\n%-10s%12s%16s%14s\n", "app",
+                "NI2w/cache", "CNI16Qm/mem", "CNI512Q/io");
+    for (const auto &app : apps) {
+        std::printf("%-10s%12.2f%16.2f%14.2f\n", app.c_str(),
+                    speedup(app, "NI2w/cache"),
+                    speedup(app, "CNI16Qm/mem"),
+                    speedup(app, "CNI512Q/io"));
+    }
+
+    // Section 5.2: memory-bus occupancy reduction on the memory bus.
+    std::printf("\nSection 5.2: memory-bus occupancy vs NI2w (memory bus)\n");
+    std::printf("%-10s%10s%12s\n", "app", "CNI4", "best CQ-CNI");
+    double cni4Avg = 0, cqAvg = 0;
+    for (const auto &app : apps) {
+        const double base = static_cast<double>(
+            results[app].at("NI2w/mem").busOccupied);
+        const double cni4 =
+            results[app].at("CNI4/mem").busOccupied / base;
+        double bestCq = 1e9;
+        for (const char *m : {"CNI16Q", "CNI512Q", "CNI16Qm"}) {
+            bestCq = std::min(
+                bestCq, results[app].at(std::string(m) + "/mem").busOccupied /
+                            base);
+        }
+        std::printf("%-10s%9.0f%%%11.0f%%\n", app.c_str(),
+                    100.0 * (1.0 - cni4), 100.0 * (1.0 - bestCq));
+        cni4Avg += 1.0 - cni4;
+        cqAvg += 1.0 - bestCq;
+    }
+    std::printf("%-10s%9.0f%%%11.0f%%   (paper: 23%% and up to 66%%)\n",
+                "average", 100.0 * cni4Avg / apps.size(),
+                100.0 * cqAvg / apps.size());
+
+    // Headline: best-on-each-bus improvement ranges.
+    std::printf("\nheadline: CNI16Qm/mem improvement over NI2w/mem "
+                "(paper: 17-53%%)\n");
+    for (const auto &app : apps) {
+        std::printf("  %-10s %+5.0f%%\n", app.c_str(),
+                    100.0 * (speedup(app, "CNI16Qm/mem") - 1.0));
+    }
+    std::printf("headline: CNI512Q/io improvement over NI2w/io "
+                "(paper: 30-88%%)\n");
+    for (const auto &app : apps) {
+        const double s =
+            static_cast<double>(results[app].at("NI2w/io").ticks) /
+            results[app].at("CNI512Q/io").ticks;
+        std::printf("  %-10s %+5.0f%%\n", app.c_str(), 100.0 * (s - 1.0));
+    }
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Compare every NI design at one message size — a one-screen view of the
+ * paper's core result, using the microbenchmark API.
+ *
+ *   $ ./latency_sweep [message-bytes]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/microbench.hpp"
+#include "sim/logging.hpp"
+
+using namespace cni;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const std::size_t bytes = argc > 1 ? std::strtoul(argv[1], nullptr, 10)
+                                       : 64;
+
+    std::printf("%zu-byte user message, round-trip latency and one-way "
+                "bandwidth\n\n",
+                bytes);
+    std::printf("%-10s %-12s %10s %12s\n", "device", "bus", "rt (us)",
+                "bw (MB/s)");
+
+    struct Case
+    {
+        NiModel m;
+        NiPlacement p;
+    };
+    const Case cases[] = {
+        {NiModel::NI2w, NiPlacement::CacheBus},
+        {NiModel::NI2w, NiPlacement::MemoryBus},
+        {NiModel::CNI4, NiPlacement::MemoryBus},
+        {NiModel::CNI16Q, NiPlacement::MemoryBus},
+        {NiModel::CNI512Q, NiPlacement::MemoryBus},
+        {NiModel::CNI16Qm, NiPlacement::MemoryBus},
+        {NiModel::NI2w, NiPlacement::IoBus},
+        {NiModel::CNI4, NiPlacement::IoBus},
+        {NiModel::CNI16Q, NiPlacement::IoBus},
+        {NiModel::CNI512Q, NiPlacement::IoBus},
+    };
+    for (const auto &c : cases) {
+        SystemConfig cfg(c.m, c.p);
+        cfg.numNodes = 2;
+        const auto lat = roundTripLatency(cfg, bytes);
+        const auto bw = streamBandwidth(cfg, bytes);
+        std::printf("%-10s %-12s %10.2f %12.1f\n", toString(c.m),
+                    toString(c.p), lat.microseconds, bw.megabytesPerSec);
+    }
+    return 0;
+}

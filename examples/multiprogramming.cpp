@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Multiprogramming on a CNI (Section 2.4): two user processes per node
+ * share one CNI512Q device through separate per-context cachable queues,
+ * with no operating-system involvement per message and no interference
+ * between the contexts' queues.
+ *
+ *   $ ./multiprogramming
+ */
+
+#include <cstdio>
+
+#include "core/system.hpp"
+
+using namespace cni;
+
+int
+main()
+{
+    SystemConfig cfg(NiModel::CNI512Q, NiPlacement::MemoryBus);
+    cfg.numNodes = 2;
+    cfg.numContexts = 2; // two user processes per node share the device
+    System sys(cfg);
+
+    int got[2] = {0, 0};
+    for (int ctx = 0; ctx < 2; ++ctx) {
+        sys.msg(1, ctx).registerHandler(
+            1, [&, ctx](const UserMsg &u) -> CoTask<void> {
+                // Each process only ever sees its own context's traffic.
+                if (u.userTag != std::uint64_t(ctx))
+                    std::printf("CROSS-CONTEXT LEAK!\n");
+                ++got[ctx];
+                co_return;
+            });
+    }
+
+    constexpr int kPerProcess = 25;
+    for (int ctx = 0; ctx < 2; ++ctx) {
+        // Process `ctx` on node 0 streams messages to its peer process
+        // on node 1 through its own queues.
+        sys.spawn(0, [](System &sys, int ctx) -> CoTask<void> {
+            std::uint8_t payload[96];
+            for (std::size_t i = 0; i < sizeof(payload); ++i)
+                payload[i] = std::uint8_t(ctx * 100 + i);
+            for (int i = 0; i < kPerProcess; ++i) {
+                co_await sys.msg(0, ctx).send(1, 1, payload,
+                                              sizeof(payload),
+                                              std::uint64_t(ctx));
+            }
+        }(sys, ctx));
+        sys.spawn(1, [](System &sys, int ctx, int *got) -> CoTask<void> {
+            co_await sys.msg(1, ctx).pollUntil(
+                [=] { return *got >= kPerProcess; });
+        }(sys, ctx, &got[ctx]));
+    }
+
+    const Tick end = sys.run();
+    std::printf("two processes per node, one shared CNI512Q device\n");
+    std::printf("process 0 received %d, process 1 received %d "
+                "(simulated %.2f us)\n",
+                got[0], got[1], end / kCyclesPerMicrosecond);
+    std::printf("the device kept only per-context base/bound state; the "
+                "queues themselves\nlive in cachable memory, so adding "
+                "processes adds no device hardware.\n");
+    return 0;
+}

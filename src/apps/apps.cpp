@@ -1,0 +1,34 @@
+#include "apps/apps.hpp"
+
+#include "sim/logging.hpp"
+
+namespace cni
+{
+
+const std::vector<std::string> &
+macrobenchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "spsolve", "gauss", "em3d", "moldyn", "appbt",
+    };
+    return names;
+}
+
+AppResult
+runMacrobenchmark(const std::string &name, const SystemConfig &cfg)
+{
+    System sys(cfg);
+    if (name == "spsolve")
+        return runSpsolve(sys);
+    if (name == "gauss")
+        return runGauss(sys);
+    if (name == "em3d")
+        return runEm3d(sys);
+    if (name == "moldyn")
+        return runMoldyn(sys);
+    if (name == "appbt")
+        return runAppbt(sys);
+    cni_fatal("unknown macrobenchmark '%s'", name.c_str());
+}
+
+} // namespace cni

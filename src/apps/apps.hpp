@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Umbrella header: the five macrobenchmarks of Section 4.2.
+ */
+
+#ifndef CNI_APPS_APPS_HPP
+#define CNI_APPS_APPS_HPP
+
+#include "apps/appbt.hpp"
+#include "apps/em3d.hpp"
+#include "apps/gauss.hpp"
+#include "apps/moldyn.hpp"
+#include "apps/spsolve.hpp"
+
+namespace cni
+{
+
+/** Run macrobenchmark `name` on a fresh system built from `cfg`. */
+AppResult runMacrobenchmark(const std::string &name,
+                            const SystemConfig &cfg);
+
+/** The five macrobenchmark names, in the paper's order. */
+const std::vector<std::string> &macrobenchmarkNames();
+
+} // namespace cni
+
+#endif // CNI_APPS_APPS_HPP

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * spsolve: a very fine-grained iterative sparse-matrix solver (Section
+ * 4.2, Table 3). Active messages propagate down the edges of a directed
+ * acyclic graph; all computation happens in the handlers. Each message
+ * carries a 12-byte payload and the per-message computation is one
+ * double-word addition, so messaging overhead dominates. Several active
+ * messages can be in flight at once, creating bursty traffic.
+ */
+
+#ifndef CNI_APPS_SPSOLVE_HPP
+#define CNI_APPS_SPSOLVE_HPP
+
+#include "apps/common.hpp"
+
+namespace cni
+{
+
+struct SpsolveParams
+{
+    int elements = 3720;   //!< DAG nodes (paper's input: 3720 elements)
+    int maxOutDegree = 3;  //!< out-edges per element
+    int edgeSpan = 64;     //!< targets drawn from the next `edgeSpan` ids
+    Tick addCycles = 6;    //!< one double-word addition + handler body
+    std::uint64_t seed = 12345;
+};
+
+/** Run spsolve on `sys`; spawns all node programs and runs to completion. */
+AppResult runSpsolve(System &sys, const SpsolveParams &p = {});
+
+} // namespace cni
+
+#endif // CNI_APPS_SPSOLVE_HPP

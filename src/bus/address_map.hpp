@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The per-node physical address map.
+ *
+ * Every node has an identical private address space:
+ *
+ *   [kMemBase,    kMemBase    + kMemSize)    main memory (memory-homed)
+ *   [kDevRegBase, kDevRegBase + kDevRegSize) NI uncached device registers
+ *   [kDevMemBase, kDevMemBase + kDevMemSize) NI device-homed cachable space
+ *                                            (CDRs and device-homed CQs)
+ *
+ * Homing decides who supplies data when no cache owns a block and who
+ * accepts writebacks (Section 2.3 of the paper).
+ */
+
+#ifndef CNI_BUS_ADDRESS_MAP_HPP
+#define CNI_BUS_ADDRESS_MAP_HPP
+
+#include "sim/types.hpp"
+
+namespace cni
+{
+
+constexpr Addr kMemBase = 0x0000'0000;
+constexpr Addr kMemSize = 0x1000'0000; // 256 MB
+constexpr Addr kDevRegBase = 0x2000'0000;
+constexpr Addr kDevRegSize = 0x0001'0000;
+constexpr Addr kDevMemBase = 0x3000'0000;
+constexpr Addr kDevMemSize = 0x0100'0000; // 16 MB of device-homed space
+
+/** Who is the home (non-cache supplier / writeback sink) for an address. */
+enum class Home
+{
+    Memory, //!< main memory on the memory bus
+    Device, //!< the NI device (wherever it is attached)
+};
+
+constexpr bool
+isMainMemory(Addr a)
+{
+    return a >= kMemBase && a < kMemBase + kMemSize;
+}
+
+constexpr bool
+isDeviceRegister(Addr a)
+{
+    return a >= kDevRegBase && a < kDevRegBase + kDevRegSize;
+}
+
+constexpr bool
+isDeviceMemory(Addr a)
+{
+    return a >= kDevMemBase && a < kDevMemBase + kDevMemSize;
+}
+
+constexpr Home
+homeOf(Addr a)
+{
+    return isMainMemory(a) ? Home::Memory : Home::Device;
+}
+
+} // namespace cni
+
+#endif // CNI_BUS_ADDRESS_MAP_HPP

@@ -1,0 +1,186 @@
+#include "bus/fabric.hpp"
+
+#include "bus/address_map.hpp"
+#include "sim/logging.hpp"
+
+namespace cni
+{
+
+const char *
+toString(NiPlacement p)
+{
+    switch (p) {
+      case NiPlacement::CacheBus:
+        return "cache-bus";
+      case NiPlacement::MemoryBus:
+        return "memory-bus";
+      case NiPlacement::IoBus:
+        return "io-bus";
+    }
+    return "?";
+}
+
+NodeFabric::NodeFabric(EventQueue &eq, const std::string &name,
+                       NiPlacement p)
+    : eq_(eq), placement_(p), membus_(eq, name + ".membus",
+                                      BusKind::MemoryBus),
+      stats_(name + ".bridge")
+{
+    if (p == NiPlacement::IoBus) {
+        iobus_ = std::make_unique<SnoopBus>(eq, name + ".iobus",
+                                            BusKind::IoBus);
+    } else if (p == NiPlacement::CacheBus) {
+        cachebus_ = std::make_unique<SnoopBus>(eq, name + ".cachebus",
+                                               BusKind::CacheBus);
+    }
+}
+
+SnoopBus &
+NodeFabric::niBus()
+{
+    switch (placement_) {
+      case NiPlacement::CacheBus:
+        return *cachebus_;
+      case NiPlacement::IoBus:
+        return *iobus_;
+      case NiPlacement::MemoryBus:
+        return membus_;
+    }
+    return membus_;
+}
+
+bool
+NodeFabric::isNiAddr(Addr a)
+{
+    return isDeviceRegister(a) || isDeviceMemory(a);
+}
+
+bool
+NodeFabric::isPosted(TxnKind k)
+{
+    return k == TxnKind::UncachedWrite || k == TxnKind::Upgrade ||
+           k == TxnKind::Writeback;
+}
+
+void
+NodeFabric::procIssue(const BusTxn &txn, SnoopBus::Done done)
+{
+    if (isNiAddr(txn.addr)) {
+        switch (placement_) {
+          case NiPlacement::CacheBus:
+            // The processor-local bus: point-to-point, 4-cycle accesses,
+            // no coherence involvement of the rest of the node.
+            cachebus_->transact(txn, std::move(done));
+            return;
+          case NiPlacement::IoBus:
+            crossDownstream(txn, std::move(done));
+            return;
+          case NiPlacement::MemoryBus:
+            break; // fall through to the memory bus
+        }
+    }
+    membus_.transact(txn, std::move(done));
+}
+
+void
+NodeFabric::deviceIssue(const BusTxn &txn, SnoopBus::Done done)
+{
+    cni_assert(placement_ != NiPlacement::CacheBus);
+    if (placement_ == NiPlacement::MemoryBus) {
+        membus_.transact(txn, std::move(done));
+        return;
+    }
+    crossUpstream(txn, std::move(done));
+}
+
+void
+NodeFabric::crossDownstream(BusTxn txn, SnoopBus::Done done)
+{
+    stats_.incr("downstream");
+    if (membus_.busy())
+        stats_.incr("bridge_conflicts");
+
+    if (isPosted(txn.kind)) {
+        // Posted: the processor side completes after the memory-bus
+        // occupancy; the bridge forwards onto the I/O bus asynchronously
+        // (I/O-bus FIFO order preserves store ordering).
+        membus_.transact(
+            txn, [this, txn, done = std::move(done)](const SnoopResult &r) {
+                BusTxn fwd = txn;
+                fwd.forwarded = true;
+                fwd.requesterId = -1; // the bridge
+                iobus_->transact(fwd, nullptr);
+                if (done)
+                    done(r);
+            });
+        return;
+    }
+
+    // Blocking read: hold the memory bus across the entire I/O-bus
+    // transaction ("the bridge ... blocks on reads").
+    membus_.acquire(
+        txn, [this, txn, done = std::move(done)](const SnoopResult &) {
+            BusTxn fwd = txn;
+            fwd.forwarded = true;
+            fwd.requesterId = -1;
+            iobus_->transact(
+                fwd, [this, done = std::move(done)](const SnoopResult &io) {
+                    membus_.release();
+                    if (done)
+                        done(io);
+                });
+        });
+}
+
+void
+NodeFabric::crossUpstream(BusTxn txn, SnoopBus::Done done)
+{
+    stats_.incr("upstream");
+    if (membus_.busy())
+        stats_.incr("bridge_conflicts");
+
+    if (isPosted(txn.kind)) {
+        // Device-side invalidations and writebacks are buffered by the
+        // bridge. The memory-bus side executes first (so the processor
+        // cache is snooped), then the I/O-bus occupancy tail is paid; the
+        // device resumes after the full I/O-side cost.
+        BusTxn up = txn;
+        up.forwarded = true;
+        up.requesterId = -1;
+        membus_.transact(
+            up, [this, txn, done = std::move(done)](const SnoopResult &r) {
+                iobus_->transact(
+                    txn, [done = std::move(done), r](const SnoopResult &) {
+                        if (done)
+                            done(r);
+                    });
+            });
+        return;
+    }
+
+    // Blocking pull (device coherently reads a block whose valid copy may
+    // be in the processor cache). Memory-bus-first acquisition keeps the
+    // two-bus locking deadlock-free; the I/O-bus transaction's occupancy
+    // covers the full Table 2 cost.
+    BusTxn up = txn;
+    up.forwarded = true;
+    up.requesterId = -1;
+    membus_.acquire(
+        up, [this, txn, done = std::move(done)](const SnoopResult &mem) {
+            iobus_->transact(
+                txn,
+                [this, mem, done = std::move(done)](const SnoopResult &io) {
+                    membus_.release();
+                    SnoopResult merged = io;
+                    merged.cacheSupplied |= mem.cacheSupplied;
+                    merged.sharedCopy |= mem.sharedCopy;
+                    merged.homeFound |= mem.homeFound;
+                    if (mem.cacheSupplied)
+                        merged.data = mem.data;
+                    if (done)
+                        done(merged);
+                });
+        });
+}
+
+} // namespace cni

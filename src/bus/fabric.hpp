@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Per-node bus fabric: memory bus, optional coherent I/O bus with bridge,
+ * optional cache bus, and the routing rules between them.
+ *
+ * The I/O bridge model follows Section 4.1 of the paper:
+ *  - reads that cross the bridge BLOCK: they hold the memory bus for the
+ *    whole I/O-bus transaction (whose Table 2 occupancy already includes
+ *    the memory-bus cycles);
+ *  - writes and invalidations that cross are BUFFERED (posted): the
+ *    issuing side completes after its own bus's occupancy and the bridge
+ *    forwards the transaction to the other bus asynchronously, in FIFO
+ *    order;
+ *  - simultaneous initiation from both sides serializes through the
+ *    memory-bus-first acquisition order (this subsumes the paper's
+ *    NACK-and-retry rule: the same transaction wins, the loser retries
+ *    next; we count these conflicts in `bridge_conflicts`).
+ */
+
+#ifndef CNI_BUS_FABRIC_HPP
+#define CNI_BUS_FABRIC_HPP
+
+#include <memory>
+#include <string>
+
+#include "bus/bus.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+
+namespace cni
+{
+
+/** Where the node's NI is attached (the paper's three placements). */
+enum class NiPlacement
+{
+    CacheBus,
+    MemoryBus,
+    IoBus,
+};
+
+const char *toString(NiPlacement p);
+
+class NodeFabric
+{
+  public:
+    NodeFabric(EventQueue &eq, const std::string &name, NiPlacement p);
+
+    NiPlacement placement() const { return placement_; }
+
+    SnoopBus &membus() { return membus_; }
+    SnoopBus *iobus() { return iobus_.get(); }
+    SnoopBus *cachebus() { return cachebus_.get(); }
+
+    /** The bus the NI device attaches to. */
+    SnoopBus &niBus();
+
+    /**
+     * Issue a processor-initiated transaction. Routes to the cache bus
+     * (NI-on-cache-bus placements), across the bridge (NI on the I/O
+     * bus), or onto the memory bus. `done` runs when the requester may
+     * proceed (posted writes complete after the near-side occupancy).
+     */
+    void procIssue(const BusTxn &txn, SnoopBus::Done done);
+
+    /**
+     * Issue an NI-device-initiated transaction (coherent pulls, upgrades,
+     * writebacks). With the NI on the I/O bus these cross the bridge
+     * upstream so the processor cache can be snooped.
+     */
+    void deviceIssue(const BusTxn &txn, SnoopBus::Done done);
+
+    StatSet &stats() { return stats_; }
+
+    /** Is this address owned by the NI (register or device-homed space)? */
+    static bool isNiAddr(Addr a);
+
+  private:
+    void crossDownstream(BusTxn txn, SnoopBus::Done done);
+    void crossUpstream(BusTxn txn, SnoopBus::Done done);
+    static bool isPosted(TxnKind k);
+
+    EventQueue &eq_;
+    NiPlacement placement_;
+    SnoopBus membus_;
+    std::unique_ptr<SnoopBus> iobus_;
+    std::unique_ptr<SnoopBus> cachebus_;
+    StatSet stats_;
+};
+
+} // namespace cni
+
+#endif // CNI_BUS_FABRIC_HPP

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The paper's two microbenchmarks (Section 5.1).
+ *
+ * Round-trip latency: process-to-process ping-pong; data starts in the
+ * sending processor's cache and ends in the receiving processor's cache
+ * (messaging-layer copies included), exactly as the paper measures.
+ *
+ * Bandwidth: a one-way stream; the receiver measures steady-state
+ * throughput. Results can be normalized to the model's local-queue
+ * maximum — the analogue of the paper's 144 MB/s two-processors-on-one-
+ * memory-bus figure.
+ */
+
+#ifndef CNI_CORE_MICROBENCH_HPP
+#define CNI_CORE_MICROBENCH_HPP
+
+#include <cstddef>
+
+#include "core/system.hpp"
+
+namespace cni
+{
+
+/**
+ * The model's maximum cache-to-cache local-queue bandwidth (MB/s): per
+ * 64-byte block one address-only invalidation (write permission for the
+ * sender), one cache-to-cache read miss (fetch for the receiver), and the
+ * per-block share of queue management, Section 2.2. With Table 2 costs
+ * this is 64 B / (12 + 42 + 8 cycles) at 200 MHz.
+ */
+constexpr double kLocalQueueMaxMBps = 64.0 * 200.0 / (12 + 42 + 8);
+
+struct LatencyResult
+{
+    double microseconds = 0; //!< mean round-trip latency
+    Tick cycles = 0;         //!< mean in processor cycles
+};
+
+/**
+ * Measure mean round-trip latency for `msgBytes`-byte user messages
+ * between nodes 0 and 1 of a machine built from `cfg`. `rounds` round
+ * trips are timed after `warmup` untimed ones.
+ */
+LatencyResult roundTripLatency(const SystemConfig &cfg,
+                               std::size_t msgBytes, int rounds = 16,
+                               int warmup = 4);
+
+struct BandwidthResult
+{
+    double megabytesPerSec = 0;
+    double relativeToLocalMax = 0; //!< fraction of kLocalQueueMaxMBps
+};
+
+/**
+ * Measure steady-state one-way bandwidth for `msgBytes`-byte user
+ * messages streamed from node 0 to node 1. `messages` are sent; the
+ * first `warmup` are excluded from the timed window.
+ */
+BandwidthResult streamBandwidth(const SystemConfig &cfg,
+                                std::size_t msgBytes, int messages = 64,
+                                int warmup = 8);
+
+} // namespace cni
+
+#endif // CNI_CORE_MICROBENCH_HPP

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The NIiX / CNIiX taxonomy (Section 3, Table 1).
+ *
+ * The subscript i is the portion of the NI queue exposed to the processor
+ * (in cache blocks, or 4-byte words with the 'w' suffix). X empty exposes
+ * part/whole of one message; X = Q manages the exposed queue with explicit
+ * head/tail pointers; X = Qm additionally homes the queue in main memory.
+ */
+
+#ifndef CNI_CORE_TAXONOMY_HPP
+#define CNI_CORE_TAXONOMY_HPP
+
+#include <array>
+#include <string>
+
+namespace cni
+{
+
+enum class NiModel
+{
+    NI2w,    //!< CM-5-style: two uncached words exposed
+    CNI4,    //!< four cachable device registers (one network message)
+    CNI16Q,  //!< 16-block device-homed cachable queues
+    CNI512Q, //!< 512-block device-homed cachable queues
+    CNI16Qm, //!< 16-block device cache over memory-homed queues
+};
+
+constexpr std::array<NiModel, 5> kAllNiModels = {
+    NiModel::NI2w, NiModel::CNI4, NiModel::CNI16Q, NiModel::CNI512Q,
+    NiModel::CNI16Qm,
+};
+
+constexpr const char *
+toString(NiModel m)
+{
+    switch (m) {
+      case NiModel::NI2w:
+        return "NI2w";
+      case NiModel::CNI4:
+        return "CNI4";
+      case NiModel::CNI16Q:
+        return "CNI16Q";
+      case NiModel::CNI512Q:
+        return "CNI512Q";
+      case NiModel::CNI16Qm:
+        return "CNI16Qm";
+    }
+    return "?";
+}
+
+/** One row of Table 1. */
+struct TaxonomyRow
+{
+    const char *device;
+    const char *exposedQueueSize;
+    const char *queuePointers;
+    const char *home;
+};
+
+constexpr std::array<TaxonomyRow, 5> kTable1 = {{
+    {"NI2w", "2 words", "-", "-"},
+    {"CNI4", "4 cache blocks", "-", "device"},
+    {"CNI16Q", "16 cache blocks", "explicit", "device"},
+    {"CNI512Q", "512 cache blocks", "explicit", "device"},
+    {"CNI16Qm", "16 cache blocks", "explicit", "main memory"},
+}};
+
+constexpr bool
+isCoherent(NiModel m)
+{
+    return m != NiModel::NI2w;
+}
+
+constexpr bool
+isQueueBased(NiModel m)
+{
+    return m == NiModel::CNI16Q || m == NiModel::CNI512Q ||
+           m == NiModel::CNI16Qm;
+}
+
+} // namespace cni
+
+#endif // CNI_CORE_TAXONOMY_HPP

@@ -1,0 +1,314 @@
+#include "mem/cache.hpp"
+
+#include "sim/logging.hpp"
+
+namespace cni
+{
+
+Cache::Cache(EventQueue &eq, std::string name, std::size_t numBlocks,
+             Initiator initiator)
+    : eq_(eq), name_(std::move(name)), initiator_(initiator),
+      lines_(numBlocks), stats_(name_)
+{
+    cni_assert(numBlocks > 0);
+}
+
+std::size_t
+Cache::indexOf(Addr a) const
+{
+    return (blockAlign(a) / kBlockBytes) % lines_.size();
+}
+
+Cache::Line &
+Cache::lineFor(Addr a)
+{
+    return lines_[indexOf(a)];
+}
+
+const Cache::Line &
+Cache::lineFor(Addr a) const
+{
+    return lines_[indexOf(a)];
+}
+
+bool
+Cache::hit(const Line &ln, Addr a) const
+{
+    return ln.tagValid && isValid(ln.state) && ln.tag == blockAlign(a);
+}
+
+Moesi
+Cache::stateOf(Addr a) const
+{
+    const Line &ln = lineFor(a);
+    return (ln.tagValid && ln.tag == blockAlign(a)) ? ln.state
+                                                    : Moesi::Invalid;
+}
+
+bool
+Cache::contains(Addr a) const
+{
+    return hit(lineFor(a), a);
+}
+
+ValueCompletion<SnoopResult>
+Cache::issueTxn(TxnKind kind, Addr a)
+{
+    cni_assert(issue_);
+    BusTxn txn;
+    txn.kind = kind;
+    txn.addr = blockAlign(a);
+    txn.initiator = initiator_;
+    txn.requesterId = requesterId_;
+    return ValueCompletion<SnoopResult>(
+        [this, txn](std::function<void(SnoopResult)> done) {
+            issue_(txn, std::move(done));
+        });
+}
+
+CoTask<void>
+Cache::load(Addr a)
+{
+    Line &ln = lineFor(a);
+    if (hit(ln, a)) {
+        stats_.incr("load_hits");
+        co_await delay(eq_, hitLatency_);
+        co_return;
+    }
+    stats_.incr("load_misses");
+    co_await refill(a, false);
+}
+
+CoTask<void>
+Cache::store(Addr a)
+{
+    // The upgrade path can race with a remote invalidation arriving while
+    // we wait for the bus; retry until we end with write permission.
+    for (;;) {
+        Line &ln = lineFor(a);
+        if (hit(ln, a) && isWritable(ln.state)) {
+            stats_.incr("store_hits");
+            ln.state = Moesi::Modified; // E -> M silently
+            co_await delay(eq_, hitLatency_);
+            co_return;
+        }
+        if (hit(ln, a)) {
+            // Shared or Owned: address-only upgrade.
+            stats_.incr("store_upgrades");
+            co_await issueTxn(TxnKind::Upgrade, a);
+            Line &ln2 = lineFor(a);
+            if (hit(ln2, a)) {
+                ln2.state = Moesi::Modified;
+                co_return;
+            }
+            // Invalidated while arbitrating; fall through and retry.
+            stats_.incr("store_upgrade_races");
+            continue;
+        }
+        stats_.incr("store_misses");
+        co_await refill(a, true);
+        Line &ln3 = lineFor(a);
+        if (hit(ln3, a) && isWritable(ln3.state)) {
+            ln3.state = Moesi::Modified;
+            co_return;
+        }
+        // Extremely unlikely: lost the block between refill completion and
+        // now (same tick). Retry.
+        stats_.incr("store_refill_races");
+    }
+}
+
+CoTask<void>
+Cache::fetchBlock(Addr a, bool exclusive)
+{
+    Line &ln = lineFor(a);
+    if (hit(ln, a) && (!exclusive || isWritable(ln.state))) {
+        if (exclusive)
+            ln.state = Moesi::Modified;
+        co_return;
+    }
+    if (exclusive && hit(ln, a)) {
+        stats_.incr("store_upgrades");
+        co_await issueTxn(TxnKind::Upgrade, a);
+        Line &ln2 = lineFor(a);
+        if (hit(ln2, a)) {
+            ln2.state = Moesi::Modified;
+            co_return;
+        }
+    }
+    co_await refill(a, exclusive);
+    if (exclusive) {
+        Line &ln3 = lineFor(a);
+        if (hit(ln3, a))
+            ln3.state = Moesi::Modified;
+    }
+}
+
+CoTask<void>
+Cache::refill(Addr a, bool exclusive)
+{
+    Line &ln = lineFor(a);
+    // Victim writeback: dirty data must reach its home before the frame is
+    // reused.
+    if (ln.tagValid && isDirty(ln.state)) {
+        stats_.incr("writebacks");
+        const Addr victim = ln.tag;
+        ln.state = Moesi::Invalid;
+        co_await issueTxn(TxnKind::Writeback, victim);
+    }
+    SnoopResult res = co_await issueTxn(
+        exclusive ? TxnKind::ReadExclusive : TxnKind::ReadShared, a);
+    Line &ln2 = lineFor(a);
+    ln2.tag = blockAlign(a);
+    ln2.tagValid = true;
+    if (exclusive) {
+        ln2.state = Moesi::Modified;
+    } else if (res.cacheSupplied && res.ownershipTransferred) {
+        ln2.state = Moesi::Owned;
+    } else if (res.cacheSupplied || res.sharedCopy) {
+        ln2.state = Moesi::Shared;
+    } else {
+        ln2.state = Moesi::Exclusive;
+    }
+}
+
+CoTask<void>
+Cache::claimBlock(Addr a, bool deferWriteback)
+{
+    Line &ln = lineFor(a);
+    if (hit(ln, a) && isWritable(ln.state)) {
+        ln.state = Moesi::Modified;
+        co_return;
+    }
+    // Displace a dirty victim (different block in the same frame).
+    if (ln.tagValid && ln.tag != blockAlign(a) && isDirty(ln.state)) {
+        stats_.incr("writebacks");
+        const Addr victim = ln.tag;
+        ln.state = Moesi::Invalid;
+        if (deferWriteback) {
+            // Writeback buffer: the bus transaction is posted and drains
+            // in FIFO order; the claim proceeds immediately.
+            BusTxn txn;
+            txn.kind = TxnKind::Writeback;
+            txn.addr = blockAlign(victim);
+            txn.initiator = initiator_;
+            txn.requesterId = requesterId_;
+            issue_(txn, [](SnoopResult) {});
+        } else {
+            co_await issueTxn(TxnKind::Writeback, victim);
+        }
+    }
+    stats_.incr("claims");
+    co_await issueTxn(TxnKind::Upgrade, a);
+    Line &ln2 = lineFor(a);
+    ln2.tag = blockAlign(a);
+    ln2.tagValid = true;
+    ln2.state = Moesi::Modified;
+}
+
+CoTask<void>
+Cache::flushBlock(Addr a)
+{
+    Line &ln = lineFor(a);
+    if (!hit(ln, a))
+        co_return;
+    if (isDirty(ln.state)) {
+        stats_.incr("flush_writebacks");
+        ln.state = Moesi::Invalid;
+        co_await issueTxn(TxnKind::Writeback, blockAlign(a));
+    } else {
+        ln.state = Moesi::Invalid;
+    }
+}
+
+void
+Cache::invalidateBlock(Addr a)
+{
+    Line &ln = lineFor(a);
+    if (ln.tagValid && ln.tag == blockAlign(a))
+        ln.state = Moesi::Invalid;
+}
+
+SnoopReply
+Cache::onBusTxn(const BusTxn &txn)
+{
+    SnoopReply reply;
+    const Addr blk = blockAlign(txn.addr);
+
+    switch (txn.kind) {
+      case TxnKind::UncachedRead:
+      case TxnKind::UncachedWrite:
+        return reply; // register space: not ours
+
+      case TxnKind::ReadShared: {
+        Line &ln = lineFor(blk);
+        if (!hit(ln, blk))
+            return reply;
+        reply.hadCopy = true;
+        switch (ln.state) {
+          case Moesi::Modified:
+          case Moesi::Owned:
+            reply.supplied = true;
+            stats_.incr("snoop_supplies");
+            if (transferOwnership_) {
+                reply.transferOwnership = true;
+                ln.state = Moesi::Shared;
+            } else {
+                ln.state = Moesi::Owned;
+            }
+            break;
+          case Moesi::Exclusive:
+            ln.state = Moesi::Shared;
+            break;
+          case Moesi::Shared:
+            break;
+          case Moesi::Invalid:
+            break;
+        }
+        return reply;
+      }
+
+      case TxnKind::ReadExclusive: {
+        Line &ln = lineFor(blk);
+        if (!hit(ln, blk))
+            return reply;
+        reply.hadCopy = true;
+        if (isDirty(ln.state)) {
+            reply.supplied = true;
+            stats_.incr("snoop_supplies");
+        }
+        ln.state = Moesi::Invalid;
+        stats_.incr("snoop_invalidations");
+        return reply;
+      }
+
+      case TxnKind::Upgrade: {
+        Line &ln = lineFor(blk);
+        if (!hit(ln, blk))
+            return reply;
+        // Requester holds a valid copy already; no data moves.
+        reply.hadCopy = true;
+        ln.state = Moesi::Invalid;
+        stats_.incr("snoop_invalidations");
+        return reply;
+      }
+
+      case TxnKind::Writeback: {
+        Line &ln = lineFor(blk);
+        if (snarfing_ && ln.tagValid && ln.tag == blk &&
+            ln.state == Moesi::Invalid) {
+            // Data snarfing: the frame is already allocated to this block
+            // (tag match, invalid); grab the data off the bus.
+            ln.state = Moesi::Shared;
+            stats_.incr("snarfs");
+            SnoopReply r;
+            r.hadCopy = true; // a copy now exists
+            return r;
+        }
+        return reply;
+      }
+    }
+    return reply;
+}
+
+} // namespace cni

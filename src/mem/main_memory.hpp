@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Main-memory bus agent: the home for all of main memory.
+ *
+ * Supplies data on coherent reads when no cache owns the block, and
+ * absorbs writebacks. Data values live in the node's NodeMemory image, so
+ * this agent only participates in home/supplier arbitration and statistics.
+ */
+
+#ifndef CNI_MEM_MAIN_MEMORY_HPP
+#define CNI_MEM_MAIN_MEMORY_HPP
+
+#include <string>
+
+#include "bus/address_map.hpp"
+#include "bus/bus.hpp"
+#include "sim/stats.hpp"
+
+namespace cni
+{
+
+class MainMemory : public BusAgent
+{
+  public:
+    explicit MainMemory(std::string name = "memory")
+        : name_(std::move(name)), stats_(name_)
+    {
+    }
+
+    SnoopReply
+    onBusTxn(const BusTxn &txn) override
+    {
+        SnoopReply r;
+        if (!isMainMemory(txn.addr))
+            return r;
+        switch (txn.kind) {
+          case TxnKind::ReadShared:
+          case TxnKind::ReadExclusive:
+            r.isHome = true;
+            stats_.incr("reads");
+            break;
+          case TxnKind::Writeback:
+            r.isHome = true;
+            stats_.incr("writebacks");
+            break;
+          default:
+            break;
+        }
+        return r;
+    }
+
+    bool isHome(Addr a) const override { return isMainMemory(a); }
+
+    const std::string &agentName() const override { return name_; }
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    std::string name_;
+    StatSet stats_;
+};
+
+} // namespace cni
+
+#endif // CNI_MEM_MAIN_MEMORY_HPP

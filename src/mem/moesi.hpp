@@ -1,0 +1,68 @@
+/**
+ * @file
+ * MOESI coherence states (Sweazey & Smith; MBus Level-2 style).
+ *
+ * The protocol modelled here is write-invalidate with owner supply:
+ * Modified and Owned caches supply data on snooped reads; clean states
+ * (Exclusive, Shared) let the home supply. A snooped ReadShared moves
+ * M -> O (owner keeps supplying without a writeback), E -> S; a snooped
+ * ReadExclusive or Upgrade invalidates.
+ */
+
+#ifndef CNI_MEM_MOESI_HPP
+#define CNI_MEM_MOESI_HPP
+
+namespace cni
+{
+
+enum class Moesi
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Owned,
+    Modified,
+};
+
+constexpr const char *
+toString(Moesi s)
+{
+    switch (s) {
+      case Moesi::Invalid:
+        return "I";
+      case Moesi::Shared:
+        return "S";
+      case Moesi::Exclusive:
+        return "E";
+      case Moesi::Owned:
+        return "O";
+      case Moesi::Modified:
+        return "M";
+    }
+    return "?";
+}
+
+/** Valid (readable) states. */
+constexpr bool
+isValid(Moesi s)
+{
+    return s != Moesi::Invalid;
+}
+
+/** States holding the only up-to-date copy relative to home (dirty). */
+constexpr bool
+isDirty(Moesi s)
+{
+    return s == Moesi::Modified || s == Moesi::Owned;
+}
+
+/** States with write permission. */
+constexpr bool
+isWritable(Moesi s)
+{
+    return s == Moesi::Modified || s == Moesi::Exclusive;
+}
+
+} // namespace cni
+
+#endif // CNI_MEM_MOESI_HPP

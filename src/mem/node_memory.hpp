@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Architectural data image of one node's address space.
+ *
+ * The simulator is transaction-level: caches and device caches track
+ * coherence *state* (tags + MOESI), while the architectural data values of
+ * all cachable locations live in a single per-node image. The MOESI
+ * protocol serializes writers, and the single-threaded event kernel orders
+ * every access, so reading/writing the image at access time always yields
+ * the coherent value. Uncached device registers are NOT stored here; the
+ * device models implement their semantics directly.
+ */
+
+#ifndef CNI_MEM_NODE_MEMORY_HPP
+#define CNI_MEM_NODE_MEMORY_HPP
+
+#include <array>
+#include <cstring>
+#include <unordered_map>
+
+#include "sim/logging.hpp"
+#include "sim/types.hpp"
+
+namespace cni
+{
+
+/** Sparse byte-addressable backing store (allocate-on-touch blocks). */
+class NodeMemory
+{
+  public:
+    void
+    write(Addr addr, const void *src, std::size_t n)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(src);
+        while (n > 0) {
+            auto &blk = blockFor(addr);
+            const std::size_t off = addr % kBlockBytes;
+            const std::size_t chunk = std::min(n, kBlockBytes - off);
+            std::memcpy(blk.data() + off, p, chunk);
+            addr += chunk;
+            p += chunk;
+            n -= chunk;
+        }
+    }
+
+    void
+    read(Addr addr, void *dst, std::size_t n) const
+    {
+        auto *p = static_cast<std::uint8_t *>(dst);
+        while (n > 0) {
+            const std::size_t off = addr % kBlockBytes;
+            const std::size_t chunk = std::min(n, kBlockBytes - off);
+            auto it = blocks_.find(blockAlign(addr));
+            if (it == blocks_.end()) {
+                std::memset(p, 0, chunk);
+            } else {
+                std::memcpy(p, it->second.data() + off, chunk);
+            }
+            addr += chunk;
+            p += chunk;
+            n -= chunk;
+        }
+    }
+
+    std::uint64_t
+    read64(Addr addr) const
+    {
+        std::uint64_t v = 0;
+        read(addr, &v, sizeof(v));
+        return v;
+    }
+
+    void
+    write64(Addr addr, std::uint64_t v)
+    {
+        write(addr, &v, sizeof(v));
+    }
+
+    std::uint32_t
+    read32(Addr addr) const
+    {
+        std::uint32_t v = 0;
+        read(addr, &v, sizeof(v));
+        return v;
+    }
+
+    void
+    write32(Addr addr, std::uint32_t v)
+    {
+        write(addr, &v, sizeof(v));
+    }
+
+  private:
+    using Block = std::array<std::uint8_t, kBlockBytes>;
+
+    Block &
+    blockFor(Addr addr)
+    {
+        auto [it, inserted] = blocks_.try_emplace(blockAlign(addr));
+        if (inserted)
+            it->second.fill(0);
+        return it->second;
+    }
+
+    std::unordered_map<Addr, Block> blocks_;
+};
+
+} // namespace cni
+
+#endif // CNI_MEM_NODE_MEMORY_HPP

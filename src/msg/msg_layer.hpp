@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The Tempest-like user-level messaging layer (Section 4.1).
+ *
+ * Provides active messages over any NetIface: user messages are broken
+ * into 256-byte network messages (12-byte header + up to 244 payload
+ * bytes), reassembled at the receiver, and dispatched to registered
+ * handler coroutines from poll().
+ *
+ * Software flow control follows the paper: when a send blocks (NI queue
+ * or window full), the layer extracts incoming messages from the NI and
+ * buffers them in user space to avoid fetch deadlock — except on CNI16Qm,
+ * whose device overflows to main memory in hardware, so the processor
+ * never has to intervene.
+ */
+
+#ifndef CNI_MSG_MSG_LAYER_HPP
+#define CNI_MSG_MSG_LAYER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "ni/net_iface.hpp"
+#include "proc/proc.hpp"
+#include "sim/stats.hpp"
+
+namespace cni
+{
+
+/** A fully reassembled user-level message. */
+struct UserMsg
+{
+    NodeId src = -1;
+    std::uint32_t handler = 0;
+    std::uint64_t userTag = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Cycles charged for handler demultiplex + invocation. */
+constexpr Tick kDispatchCycles = 8;
+
+/**
+ * Scratch region used as the user-level receive buffer target; coloured
+ * to processor-cache lines 2560..4095 so software buffering does not
+ * evict the cachable queues (see the layout note in ni/params.hpp).
+ */
+constexpr Addr kUserBufBase = kMemBase + 0x0602'8000;
+constexpr Addr kUserBufSize = 0x2'0000;
+
+class MsgLayer
+{
+  public:
+    using Handler = std::function<CoTask<void>(const UserMsg &)>;
+
+    MsgLayer(Proc &p, NetIface &ni, int ctx = 0);
+
+    Proc &proc() { return p_; }
+    NetIface &ni() { return ni_; }
+    NodeId nodeId() const { return p_.id(); }
+
+    /** Register the coroutine invoked for messages carrying `id`. */
+    void registerHandler(std::uint32_t id, Handler h);
+
+    /**
+     * Send a user message of `bytes` bytes. Fragments as needed and
+     * applies software flow control while blocked.
+     */
+    CoTask<void> send(NodeId dst, std::uint32_t handler, const void *payload,
+                      std::size_t bytes, std::uint64_t userTag = 0);
+
+    /** Send with no payload bytes (pure control message). */
+    CoTask<void>
+    send(NodeId dst, std::uint32_t handler, std::uint64_t userTag = 0)
+    {
+        return send(dst, handler, nullptr, 0, userTag);
+    }
+
+    /**
+     * Poll for incoming messages and dispatch up to `maxDispatch`
+     * handlers. Returns the number of *user messages* dispatched.
+     */
+    CoTask<int> poll(int maxDispatch = 8);
+
+    /** Poll (dispatching handlers) until `pred()` holds. */
+    CoTask<void> pollUntil(std::function<bool()> pred);
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    CoTask<bool> nextNetMsg(NetMsg &out);
+    CoTask<void> drainWhileBlocked();
+    CoTask<bool> assemble(const NetMsg &m, UserMsg &done);
+    Addr nextUserBuf(std::size_t bytes);
+
+    Proc &p_;
+    NetIface &ni_;
+    int ctx_;
+    std::unordered_map<std::uint32_t, Handler> handlers_;
+    std::deque<NetMsg> softBuf_; //!< user-space buffered network messages
+    std::map<std::pair<NodeId, std::uint32_t>, UserMsg> partial_;
+    std::map<std::pair<NodeId, std::uint32_t>, int> partialLeft_;
+    std::uint32_t sendSeq_ = 0;
+    Addr userBufCursor_ = 0;
+    StatSet stats_;
+};
+
+} // namespace cni
+
+#endif // CNI_MSG_MSG_LAYER_HPP

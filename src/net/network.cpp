@@ -1,0 +1,86 @@
+#include "net/network.hpp"
+
+#include "sim/logging.hpp"
+
+namespace cni
+{
+
+Network::Network(EventQueue &eq, int numNodes)
+    : eq_(eq), numNodes_(numNodes), ports_(numNodes, nullptr),
+      arrivalQ_(numNodes), pumping_(numNodes, false), stats_("network")
+{
+    windowCh_.reserve(numNodes);
+    for (int i = 0; i < numNodes; ++i)
+        windowCh_.push_back(std::make_unique<WaitChannel>(eq));
+}
+
+void
+Network::attach(NodeId node, NiPort *port)
+{
+    cni_assert(node >= 0 && node < numNodes_);
+    cni_assert(ports_[node] == nullptr);
+    ports_[node] = port;
+}
+
+bool
+Network::canInject(NodeId src, NodeId dst) const
+{
+    auto it = inFlight_.find({src, dst});
+    return it == inFlight_.end() || it->second < kSlidingWindow;
+}
+
+void
+Network::inject(NetMsg msg)
+{
+    cni_assert(msg.src >= 0 && msg.src < numNodes_);
+    cni_assert(msg.dst >= 0 && msg.dst < numNodes_);
+    cni_assert(msg.payload.size() <= kNetworkPayloadBytes);
+    cni_assert(canInject(msg.src, msg.dst));
+
+    ++inFlight_[{msg.src, msg.dst}];
+    stats_.incr("injected");
+    stats_.incr("payload_bytes", msg.payloadBytes());
+
+    const NodeId dst = msg.dst;
+    eq_.scheduleIn(kNetworkLatency, [this, dst, m = std::move(msg)]() mutable {
+        arrivalQ_[dst].push_back(std::move(m));
+        pumpArrivals(dst);
+    });
+}
+
+void
+Network::pumpArrivals(NodeId dst)
+{
+    if (pumping_[dst] || arrivalQ_[dst].empty())
+        return;
+    NiPort *port = ports_[dst];
+    cni_assert(port != nullptr);
+    const NetMsg &head = arrivalQ_[dst].front();
+    if (!port->netDeliver(head)) {
+        // Receiver congested: the head blocks the channel (and every
+        // message behind it) until the NI accepts it — arrivals back up
+        // into the fabric, acks stall, and the senders' windows close.
+        stats_.incr("delivery_retries");
+        pumping_[dst] = true;
+        eq_.scheduleIn(kRetryInterval, [this, dst] {
+            pumping_[dst] = false;
+            pumpArrivals(dst);
+        });
+        return;
+    }
+    stats_.incr("delivered");
+    // Acknowledgment travels back with the same fabric latency, then the
+    // sliding-window slot frees.
+    const NodeId src = arrivalQ_[dst].front().src;
+    arrivalQ_[dst].pop_front();
+    eq_.scheduleIn(kNetworkLatency, [this, src, dst] {
+        auto it = inFlight_.find({src, dst});
+        cni_assert(it != inFlight_.end() && it->second > 0);
+        --it->second;
+        windowCh_[src]->notifyAll();
+    });
+    // Keep draining: back-to-back arrivals deliver without extra delay.
+    pumpArrivals(dst);
+}
+
+} // namespace cni

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The interconnect fabric (Section 4.1).
+ *
+ * Topology is ignored: every network message takes kNetworkLatency (100)
+ * processor cycles from injection of its last byte to arrival of its first
+ * byte. End-point flow control is a hardware sliding window: a node may
+ * have up to kSlidingWindow (4) unacknowledged messages outstanding per
+ * destination; the receiving NI acknowledges a message when it accepts it
+ * into its receive queue, and a congested receiver silently defers
+ * acceptance (the message "backs up into the network" and is retried).
+ */
+
+#ifndef CNI_NET_NETWORK_HPP
+#define CNI_NET_NETWORK_HPP
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+#include "sim/types.hpp"
+
+namespace cni
+{
+
+/**
+ * One fixed-size (256-byte) network message: a 12-byte header (handler id,
+ * payload length, fragmentation info, context) plus up to 244 payload
+ * bytes.
+ */
+struct NetMsg
+{
+    NodeId src = -1;
+    NodeId dst = -1;
+    std::uint32_t handler = 0;   //!< active-message handler index
+    std::uint16_t fragIndex = 0; //!< fragment number within a user message
+    std::uint16_t fragCount = 1; //!< total fragments of the user message
+    std::uint8_t ctx = 0;        //!< receiving process / queue context
+    std::uint32_t seq = 0;       //!< sender sequence (fragment reassembly)
+    std::uint64_t userTag = 0;   //!< opaque user word (timestamps in tests)
+    std::vector<std::uint8_t> payload; //!< <= kNetworkPayloadBytes
+
+    std::size_t
+    payloadBytes() const
+    {
+        return payload.size();
+    }
+
+    /** Bytes this message occupies on the wire (header + payload). */
+    std::size_t wireBytes() const { return kNetworkHeaderBytes + payload.size(); }
+};
+
+/** Implemented by every NI device: the network-side delivery port. */
+class NiPort
+{
+  public:
+    virtual ~NiPort() = default;
+
+    /**
+     * A message reached this node. Return true to accept it (the ack is
+     * then sent); returning false leaves the message blocking the channel
+     * and the fabric retries later.
+     */
+    virtual bool netDeliver(const NetMsg &msg) = 0;
+};
+
+class Network
+{
+  public:
+    Network(EventQueue &eq, int numNodes);
+
+    int numNodes() const { return numNodes_; }
+
+    void attach(NodeId node, NiPort *port);
+
+    /** May `src` inject another message toward `dst` right now? */
+    bool canInject(NodeId src, NodeId dst) const;
+
+    /**
+     * Inject a message (window space must be available). Delivery is
+     * attempted kNetworkLatency cycles later.
+     */
+    void inject(NetMsg msg);
+
+    /**
+     * Wakeup channel notified whenever window space toward any
+     * destination frees for `src` (senders blocked on the window wait
+     * here).
+     */
+    WaitChannel &windowChannel(NodeId src) { return *windowCh_[src]; }
+
+    StatSet &stats() { return stats_; }
+
+    /** Messages injected so far (all nodes). */
+    std::uint64_t injected() const { return stats_.counter("injected"); }
+
+  private:
+    void pumpArrivals(NodeId dst);
+
+    EventQueue &eq_;
+    int numNodes_;
+    std::vector<NiPort *> ports_;
+    std::vector<std::unique_ptr<WaitChannel>> windowCh_;
+    std::map<std::pair<NodeId, NodeId>, int> inFlight_;
+    /// Per-destination ingress: arrivals deliver in order, and a refused
+    /// head blocks everything behind it — messages back up into the
+    /// fabric and their (ack-gated) window slots stay occupied, which is
+    /// what throttles senders toward a congested receiver (Section 2.3's
+    /// motivation for large queues).
+    std::vector<std::deque<NetMsg>> arrivalQ_;
+    std::vector<bool> pumping_;
+    StatSet stats_;
+
+    /** Retry interval for a receiver that refused delivery. */
+    static constexpr Tick kRetryInterval = 20;
+};
+
+} // namespace cni
+
+#endif // CNI_NET_NETWORK_HPP

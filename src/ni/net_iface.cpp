@@ -1,0 +1,106 @@
+#include "ni/net_iface.hpp"
+
+namespace cni
+{
+
+namespace
+{
+
+/// Minimal fire-and-forget coroutine wrapper used by detach().
+struct DetachedTask
+{
+    struct promise_type
+    {
+        DetachedTask get_return_object() { return {}; }
+        std::suspend_never initial_suspend() noexcept { return {}; }
+        std::suspend_never final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void
+        unhandled_exception()
+        {
+            cni_panic("unhandled exception escaped a detached task");
+        }
+    };
+};
+
+DetachedTask
+runDetached(CoTask<void> task)
+{
+    co_await std::move(task);
+}
+
+} // namespace
+
+void
+detach(CoTask<void> task)
+{
+    runDetached(std::move(task));
+}
+
+NetIface::NetIface(EventQueue &eq, NodeId node, NodeFabric &fabric,
+                   Network &net, NodeMemory &mem, std::string name)
+    : eq_(eq), node_(node), fabric_(fabric), net_(net), mem_(mem),
+      name_(std::move(name)), stats_(name_), kickCh_(eq), injectCh_(eq)
+{
+    net_.attach(node, this);
+}
+
+ValueCompletion<SnoopResult>
+NetIface::devTxn(TxnKind kind, Addr a)
+{
+    BusTxn txn;
+    txn.kind = kind;
+    txn.addr = a;
+    txn.initiator = Initiator::Device;
+    // The device's requester id on its own bus is set by the subclass at
+    // attach time via the fabric; the fabric rewrites ids when crossing.
+    txn.requesterId = busId_;
+    return ValueCompletion<SnoopResult>(
+        [this, txn](std::function<void(SnoopResult)> done) {
+            fabric_.deviceIssue(txn, std::move(done));
+        });
+}
+
+void
+NetIface::queueForInjection(NetMsg msg)
+{
+    injectQ_.push_back(std::move(msg));
+    injectCh_.notifyAll();
+}
+
+CoTask<void>
+NetIface::engineLoop()
+{
+    for (;;) {
+        bool did = co_await engineStep();
+        if (!did)
+            co_await kickCh_.wait();
+    }
+}
+
+CoTask<void>
+NetIface::injectLoop()
+{
+    for (;;) {
+        if (injectQ_.empty()) {
+            co_await injectCh_.wait();
+            continue;
+        }
+        const NodeId dst = injectQ_.front().dst;
+        if (!net_.canInject(node_, dst)) {
+            stats_.incr("window_stalls");
+            co_await net_.windowChannel(node_).wait();
+            continue;
+        }
+        NetMsg msg = std::move(injectQ_.front());
+        injectQ_.pop_front();
+        co_await busyFor(kNiInjectCycles);
+        stats_.incr("injected");
+        net_.inject(std::move(msg));
+        // Backlog space freed: the engine may resume draining its send
+        // queue (see kInjectBacklogLimit).
+        kick();
+    }
+}
+
+} // namespace cni

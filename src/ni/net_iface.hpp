@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Abstract network-interface device.
+ *
+ * Each NI is simultaneously:
+ *  - a bus agent (snooped registers, and for CNIs a snooping device cache
+ *    plus the home for device-homed address space);
+ *  - a network port (accepts/refuses deliveries, injects with the sliding
+ *    window);
+ *  - a software *driver*: the processor-side protocol for sending and
+ *    receiving one network message, written as coroutines against a Proc.
+ *    The driver is where the five designs differ (uncached loads/stores
+ *    for NI2w, CDR handshakes for CNI4, cachable-queue operations for the
+ *    CNIiQ family), so the messaging layer above is NI-agnostic.
+ *
+ * Data plane: drivers charge every register access and cache operation at
+ * full timing fidelity, while message *contents* travel through staging
+ * queues inside the device model at commit points. This keeps payload
+ * bytes exact without simulating per-word device datapaths.
+ */
+
+#ifndef CNI_NI_NET_IFACE_HPP
+#define CNI_NI_NET_IFACE_HPP
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "bus/bus.hpp"
+#include "bus/fabric.hpp"
+#include "mem/node_memory.hpp"
+#include "net/network.hpp"
+#include "ni/params.hpp"
+#include "proc/proc.hpp"
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+
+namespace cni
+{
+
+/** Start a fire-and-forget coroutine (device engines). */
+void detach(CoTask<void> task);
+
+class NetIface : public BusAgent, public NiPort
+{
+  public:
+    NetIface(EventQueue &eq, NodeId node, NodeFabric &fabric, Network &net,
+             NodeMemory &mem, std::string name);
+    ~NetIface() override = default;
+
+    // Software driver API --------------------------------------------------
+
+    /**
+     * Attempt to hand one network message to the NI, executing the
+     * device's processor-side protocol (status checks, data movement,
+     * commit). Returns false when the NI cannot take the message now
+     * (queue/FIFO full); the messaging layer then applies its software
+     * flow control.
+     */
+    virtual CoTask<bool> trySend(Proc &p, NetMsg msg, int ctx) = 0;
+
+    /**
+     * Poll for one received network message. Returns false when none is
+     * available. The polling cost is the NI-specific part: uncached loads
+     * for NI2w/CNI4, a (usually hitting) cached load for the CQ designs.
+     */
+    virtual CoTask<bool> tryRecv(Proc &p, NetMsg &out, int ctx) = 0;
+
+    /**
+     * True when the device itself buffers receive overflow (CNI16Qm), so
+     * software need not drain incoming messages while blocked on a send.
+     */
+    virtual bool hardwareBuffersOverflow() const { return false; }
+
+    /** Device model name, e.g. "CNI16Qm" (taxonomy label). */
+    virtual const std::string &modelName() const = 0;
+
+    // BusAgent --------------------------------------------------------------
+    bool
+    isHome(Addr a) const override
+    {
+        return NodeFabric::isNiAddr(a);
+    }
+
+    const std::string &agentName() const override { return name_; }
+
+    NodeId node() const { return node_; }
+    StatSet &stats() { return stats_; }
+    EventQueue &eq() { return eq_; }
+
+    /**
+     * Attach this device to the NI bus of its fabric and start its
+     * engine. Must be called exactly once, after construction completes
+     * (the engine virtually dispatches into the derived class).
+     */
+    void
+    attachToBus()
+    {
+        busId_ = fabric_.niBus().attach(this);
+        detach(engineLoop());
+        detach(injectLoop());
+    }
+
+  protected:
+    /** Wake the device engine. */
+    void kick() { kickCh_.notifyAll(); }
+
+    /**
+     * One unit of device work (a block pull, a slot write, ...). Return
+     * false when idle; the engine then sleeps until the next kick().
+     */
+    virtual CoTask<bool> engineStep() = 0;
+
+    /** Issue a device-initiated bus transaction through the fabric. */
+    ValueCompletion<SnoopResult> devTxn(TxnKind kind, Addr a);
+
+    /**
+     * Queue a fully assembled message for injection; a dedicated device
+     * coroutine serializes messages into the network as the sliding
+     * window allows.
+     */
+    void queueForInjection(NetMsg msg);
+
+    /** Number of messages waiting for window space. */
+    std::size_t injectBacklog() const { return injectQ_.size(); }
+
+    DelayAwaiter busyFor(Tick cycles) { return DelayAwaiter(eq_, cycles); }
+
+    EventQueue &eq_;
+    NodeId node_;
+    NodeFabric &fabric_;
+    Network &net_;
+    NodeMemory &mem_;
+    std::string name_;
+    StatSet stats_;
+    int busId_ = -1; //!< our agent id on the NI bus
+
+  private:
+    CoTask<void> engineLoop();
+    CoTask<void> injectLoop();
+
+    WaitChannel kickCh_;
+    WaitChannel injectCh_;
+    std::deque<NetMsg> injectQ_;
+};
+
+} // namespace cni
+
+#endif // CNI_NI_NET_IFACE_HPP

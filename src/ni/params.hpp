@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tunable NI device parameters (engine overheads, FIFO depths, layout).
+ *
+ * Bus-visible timing comes from Table 2 (bus/timing.hpp); the constants
+ * here cover device-internal costs the paper does not tabulate. They are
+ * deliberately small: the NIs modelled are "much simpler than processors"
+ * (Section 1) — comparable to the CM-5 NI or a DMA engine.
+ */
+
+#ifndef CNI_NI_PARAMS_HPP
+#define CNI_NI_PARAMS_HPP
+
+#include "bus/address_map.hpp"
+#include "sim/types.hpp"
+
+namespace cni
+{
+
+/** Cycles for the NI to serialize one 256-byte message into the network. */
+constexpr Tick kNiInjectCycles = 8;
+
+/** Device engine decision overhead per unit of work. */
+constexpr Tick kNiEngineCycles = 2;
+
+/**
+ * Messages a device may hold fully assembled while waiting for sliding-
+ * window space. Beyond this the device stops draining its send queue —
+ * backpressure must reach the processor (send queue fills), not hide in
+ * unbounded device buffering.
+ */
+constexpr std::size_t kInjectBacklogLimit = 2;
+
+/** NI2w hardware FIFO depths, in network messages (CM-5-class device). */
+constexpr int kNi2wSendFifoMsgs = 4;
+constexpr int kNi2wRecvFifoMsgs = 4;
+
+/** CNI4 device-side message FIFO depths (staging beyond the CDRs). */
+constexpr int kCni4SendFifoMsgs = 2;
+constexpr int kCni4RecvFifoMsgs = 4;
+
+/** Blocks per message slot: one 256-byte network message. */
+constexpr int kBlocksPerSlot =
+    static_cast<int>(kNetworkMessageBytes / kBlockBytes);
+
+// --------------------------------------------------------------------
+// Device register map (uncached space). Context c uses
+// kDevRegBase + c * kCtxRegStride + offset.
+// --------------------------------------------------------------------
+constexpr Addr kCtxRegStride = 0x1000;
+
+constexpr Addr kRegStatus = 0x00;      //!< NI2w: bit0 send-ok, bit1 recv-rdy
+constexpr Addr kRegSendCommit = 0x08;  //!< NI2w/CNI4: finalize staged send
+constexpr Addr kRegRecvPop = 0x10;     //!< CNI4: explicit pop (clear CDR)
+constexpr Addr kRegSendHead = 0x18;    //!< CNIQ: device's send-queue head
+constexpr Addr kRegRecvHead = 0x20;    //!< CNIQ: receiver's consumed head
+constexpr Addr kRegMsgReady = 0x28;    //!< CNIQ: message-ready signal
+constexpr Addr kRegRecvStatus = 0x30;  //!< CNI4: bit0 ready, bit1 clearing
+constexpr Addr kRegSendStatus = 0x38;  //!< CNI4: bit0 busy
+constexpr Addr kRegSendData = 0x40;    //!< NI2w: staged outgoing data word
+constexpr Addr kRegRecvData = 0x48;    //!< NI2w: head message data word
+
+// --------------------------------------------------------------------
+// Cachable layout. Device-homed structures live in device memory space;
+// memory-homed queues (CNI16Qm) and driver-private state in main memory.
+// --------------------------------------------------------------------
+
+// The regions below are deliberately staggered modulo the 256 KB
+// direct-mapped processor cache (0x40000), the way an operating system
+// would colour the pages: the send queues, receive queues, driver state,
+// and user buffers each claim disjoint cache-line ranges so the NI data
+// structures do not thrash each other (the paper's footnote 1: conflicts
+// affect performance, not correctness — we avoid the gratuitous ones).
+
+/** CNI4 CDRs (device-homed; proc cache lines 0..7). */
+constexpr Addr kCni4SendCdr = kDevMemBase + 0x0000;
+constexpr Addr kCni4RecvCdr = kDevMemBase + 0x0100;
+
+/** Device-homed CQ bases, per context (lines 512.. / 1024..). */
+constexpr Addr kDevSendQBase = kDevMemBase + 0x0'8000;
+constexpr Addr kDevRecvQBase = kDevMemBase + 0x1'0000;
+constexpr Addr kCtxQueueStride = 0x1'0000;
+
+/** Memory-homed receive CQ base (CNI16Qm), per context. */
+constexpr Addr kMemRecvQBase = kMemBase + 0x0701'0000;
+
+/** Driver-private cached state blocks (lines 2048..). */
+constexpr Addr kDriverStateBase = kMemBase + 0x0502'0000;
+constexpr Addr kCtxStateStride = 0x100;
+
+static_assert(kDevSendQBase % 0x40000 == 0x0'8000);
+static_assert(kDevRecvQBase % 0x40000 == 0x1'0000);
+static_assert(kMemRecvQBase % 0x40000 == 0x1'0000);
+static_assert(kDriverStateBase % 0x40000 == 0x2'0000);
+
+constexpr Addr
+ctxReg(int ctx, Addr offset)
+{
+    return kDevRegBase + static_cast<Addr>(ctx) * kCtxRegStride + offset;
+}
+
+} // namespace cni
+
+#endif // CNI_NI_PARAMS_HPP

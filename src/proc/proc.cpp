@@ -1,0 +1,110 @@
+#include "proc/proc.hpp"
+
+namespace cni
+{
+
+Proc::Proc(EventQueue &eq, NodeId id, NodeFabric &fabric, NodeMemory &mem,
+           const std::string &name)
+    : eq_(eq), id_(id), fabric_(fabric), mem_(mem), stats_(name)
+{
+    cache_ = std::make_unique<Cache>(eq, name + ".cache", kProcCacheBlocks,
+                                     Initiator::Processor);
+    const int membusId = fabric.membus().attach(cache_.get());
+    cache_->setRequesterId(membusId);
+    TxnIssue port = [&fabric](const BusTxn &txn,
+                              std::function<void(SnoopResult)> done) {
+        fabric.procIssue(txn, std::move(done));
+    };
+    cache_->setIssuePort(port);
+    stb_ = std::make_unique<StoreBuffer>(eq, name + ".stb", port);
+}
+
+CoTask<void>
+Proc::touch(Addr a, std::size_t n, bool isStore)
+{
+    // One access per 8-byte word; the cache charges one cycle per hit and
+    // the full bus path per miss (first word of each missing block).
+    const Addr end = a + n;
+    for (Addr w = a & ~Addr{7}; w < end; w += 8) {
+        if (isStore)
+            co_await cache_->store(w);
+        else
+            co_await cache_->load(w);
+    }
+}
+
+CoTask<void>
+Proc::read(Addr a, void *dst, std::size_t n)
+{
+    co_await touch(a, n, false);
+    mem_.read(a, dst, n);
+}
+
+CoTask<void>
+Proc::write(Addr a, const void *src, std::size_t n)
+{
+    co_await touch(a, n, true);
+    mem_.write(a, src, n);
+}
+
+CoTask<std::uint64_t>
+Proc::read64(Addr a)
+{
+    co_await cache_->load(a);
+    co_return mem_.read64(a);
+}
+
+CoTask<void>
+Proc::write64(Addr a, std::uint64_t v)
+{
+    co_await cache_->store(a);
+    mem_.write64(a, v);
+}
+
+CoTask<std::uint32_t>
+Proc::read32(Addr a)
+{
+    co_await cache_->load(a);
+    co_return mem_.read32(a);
+}
+
+CoTask<void>
+Proc::write32(Addr a, std::uint32_t v)
+{
+    co_await cache_->store(a);
+    mem_.write32(a, v);
+}
+
+CoTask<std::uint64_t>
+Proc::uncachedLoad(Addr a)
+{
+    stats_.incr("uncached_loads");
+    // Device space is strongly ordered: an uncached load may not bypass
+    // earlier uncached stores still sitting in the store buffer.
+    co_await stb_->drain();
+    BusTxn txn;
+    txn.kind = TxnKind::UncachedRead;
+    txn.addr = a;
+    txn.initiator = Initiator::Processor;
+    SnoopResult res = co_await ValueCompletion<SnoopResult>(
+        [this, txn](std::function<void(SnoopResult)> done) {
+            fabric_.procIssue(txn, std::move(done));
+        });
+    co_return res.data;
+}
+
+CoTask<void>
+Proc::uncachedStore(Addr a, std::uint64_t v)
+{
+    stats_.incr("uncached_stores");
+    co_await stb_->push(a, v);
+}
+
+CoTask<void>
+Proc::membar()
+{
+    stats_.incr("membars");
+    co_await stb_->drain();
+}
+
+} // namespace cni

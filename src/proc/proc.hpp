@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The node processor model.
+ *
+ * A 200 MHz dual-issue in-order processor (ROSS HyperSPARC class). The
+ * simulator does not interpret an ISA: workloads are coroutines that issue
+ * timed memory operations through this class and charge computation as
+ * explicit cycle delays. Cached accesses are charged one cycle per 8-byte
+ * word on hits (dual issue overlaps address generation with the access)
+ * plus the full bus cost on misses; uncached loads block; uncached stores
+ * retire through the store buffer.
+ */
+
+#ifndef CNI_PROC_PROC_HPP
+#define CNI_PROC_PROC_HPP
+
+#include <memory>
+#include <string>
+
+#include "bus/fabric.hpp"
+#include "mem/cache.hpp"
+#include "mem/node_memory.hpp"
+#include "mem/store_buffer.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+
+namespace cni
+{
+
+/** Processor cache capacity: 256 KB direct mapped (Section 4.1). */
+constexpr std::size_t kProcCacheBlocks = (256 * 1024) / kBlockBytes;
+
+class Proc
+{
+  public:
+    Proc(EventQueue &eq, NodeId id, NodeFabric &fabric, NodeMemory &mem,
+         const std::string &name);
+
+    NodeId id() const { return id_; }
+    EventQueue &eq() { return eq_; }
+    Cache &cache() { return *cache_; }
+    NodeMemory &mem() { return mem_; }
+    StoreBuffer &storeBuffer() { return *stb_; }
+    NodeFabric &fabric() { return fabric_; }
+
+    /** Charge `cycles` of computation. */
+    DelayAwaiter delay(Tick cycles) { return DelayAwaiter(eq_, cycles); }
+
+    /** Cached read of `n` bytes into `dst` (charged per 8-byte word). */
+    CoTask<void> read(Addr a, void *dst, std::size_t n);
+
+    /** Cached write of `n` bytes from `src` (charged per 8-byte word). */
+    CoTask<void> write(Addr a, const void *src, std::size_t n);
+
+    /** Cached 64-bit load/store convenience wrappers. */
+    CoTask<std::uint64_t> read64(Addr a);
+    CoTask<void> write64(Addr a, std::uint64_t v);
+    CoTask<std::uint32_t> read32(Addr a);
+    CoTask<void> write32(Addr a, std::uint32_t v);
+
+    /**
+     * Touch the cache for an access to [a, a+n) without moving data —
+     * used when a workload reads/writes scratch state whose values the
+     * simulation does not care about.
+     */
+    CoTask<void> touch(Addr a, std::size_t n, bool isStore);
+
+    /** Uncached (device register) 8-byte load: blocks the processor. */
+    CoTask<std::uint64_t> uncachedLoad(Addr a);
+
+    /** Uncached 8-byte store: retires through the store buffer. */
+    CoTask<void> uncachedStore(Addr a, std::uint64_t v);
+
+    /** Memory barrier: drain the store buffer. */
+    CoTask<void> membar();
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    EventQueue &eq_;
+    NodeId id_;
+    NodeFabric &fabric_;
+    NodeMemory &mem_;
+    std::unique_ptr<Cache> cache_;
+    std::unique_ptr<StoreBuffer> stb_;
+    StatSet stats_;
+};
+
+} // namespace cni
+
+#endif // CNI_PROC_PROC_HPP

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global-order event queue drives the whole simulated machine.
+ * Events scheduled for the same tick execute in scheduling order
+ * (deterministic FIFO tie-break), which makes every simulation in this
+ * repository exactly reproducible.
+ */
+
+#ifndef CNI_SIM_EVENT_QUEUE_HPP
+#define CNI_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hpp"
+#include "sim/types.hpp"
+
+namespace cni
+{
+
+/**
+ * The event queue: a priority queue of (tick, sequence, callback).
+ *
+ * The kernel is deliberately minimal: components schedule plain callbacks;
+ * the coroutine layer (sim/task.hpp) builds structured concurrency on top.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time in processor cycles. */
+    Tick now() const { return curTick_; }
+
+    /** Schedule `cb` to run at absolute tick `when` (>= now). */
+    void
+    scheduleAt(Tick when, Callback cb)
+    {
+        cni_assert(when >= curTick_);
+        events_.push(Event{when, nextSeq_++, std::move(cb)});
+    }
+
+    /** Schedule `cb` to run `delta` ticks from now. */
+    void scheduleIn(Tick delta, Callback cb)
+    {
+        scheduleAt(curTick_ + delta, std::move(cb));
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /** Run one event; returns false if the queue was empty. */
+    bool
+    step()
+    {
+        if (events_.empty())
+            return false;
+        // priority_queue::top() is const; the callback must be moved out,
+        // so pop into a local copy.
+        Event ev = events_.top();
+        events_.pop();
+        cni_assert(ev.when >= curTick_);
+        curTick_ = ev.when;
+        ++executed_;
+        ev.cb();
+        return true;
+    }
+
+    /** Run until the queue drains. Returns the final tick. */
+    Tick
+    run()
+    {
+        while (step()) {
+        }
+        return curTick_;
+    }
+
+    /**
+     * Run until the queue drains or simulated time reaches `limit`.
+     * Events at ticks > limit stay queued.
+     */
+    Tick
+    runUntil(Tick limit)
+    {
+        while (!events_.empty() && events_.top().when <= limit)
+            step();
+        return curTick_;
+    }
+
+    /**
+     * Run until `pred()` becomes true (checked after every event) or the
+     * queue drains. Returns true if the predicate was satisfied.
+     */
+    bool
+    runUntilDone(const std::function<bool()> &pred)
+    {
+        while (!pred()) {
+            if (!step())
+                return false;
+        }
+        return true;
+    }
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace cni
+
+#endif // CNI_SIM_EVENT_QUEUE_HPP

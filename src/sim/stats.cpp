@@ -1,0 +1,30 @@
+#include "sim/stats.hpp"
+
+#include <iomanip>
+
+namespace cni
+{
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[k, v] : other.counters_)
+        counters_[k] += v;
+    for (const auto &[k, s] : other.scalars_)
+        scalars_[k].merge(s);
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    const std::string prefix = name_.empty() ? "" : name_ + ".";
+    for (const auto &[k, v] : counters_)
+        os << prefix << k << " " << v << "\n";
+    for (const auto &[k, s] : scalars_) {
+        os << prefix << k << " count=" << s.count() << " mean=" << std::fixed
+           << std::setprecision(2) << s.mean() << " min=" << s.min()
+           << " max=" << s.max() << "\n";
+    }
+}
+
+} // namespace cni

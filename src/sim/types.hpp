@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fundamental simulator types shared by every module.
+ *
+ * All timing in this codebase is expressed in *processor cycles* of the
+ * 200 MHz dual-issue processor modelled by the paper (ISCA'96, Section 4.1).
+ * Table 2 of the paper already reports bus occupancies in processor cycles,
+ * so no clock-domain conversion is needed anywhere.
+ */
+
+#ifndef CNI_SIM_TYPES_HPP
+#define CNI_SIM_TYPES_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cni
+{
+
+/** Simulated time, in 200 MHz processor cycles. */
+using Tick = std::uint64_t;
+
+/** A physical address within one node's address space. */
+using Addr = std::uint64_t;
+
+/** Node identifier in the simulated parallel machine (0..N-1). */
+using NodeId = int;
+
+/** Processor cycles per microsecond at the paper's 200 MHz clock. */
+constexpr double kCyclesPerMicrosecond = 200.0;
+
+/** Cache/memory/transfer block size in bytes (Section 4.1). */
+constexpr std::size_t kBlockBytes = 64;
+
+/** Fixed network message size in bytes (Section 4.1). */
+constexpr std::size_t kNetworkMessageBytes = 256;
+
+/** Per-network-message header overhead in bytes (Section 5.1, footnote 2). */
+constexpr std::size_t kNetworkHeaderBytes = 12;
+
+/** Usable payload bytes within one fixed-size network message. */
+constexpr std::size_t kNetworkPayloadBytes =
+    kNetworkMessageBytes - kNetworkHeaderBytes;
+
+/** Network latency, last byte injected to first byte arrived (Section 4.1). */
+constexpr Tick kNetworkLatency = 100;
+
+/** Hardware sliding-window depth per destination (Section 4.1). */
+constexpr int kSlidingWindow = 4;
+
+/** Round x up to the next multiple of unit (unit must be a power of two). */
+constexpr std::uint64_t
+roundUpPow2(std::uint64_t x, std::uint64_t unit)
+{
+    return (x + unit - 1) & ~(unit - 1);
+}
+
+/** Align an address down to its containing block. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(kBlockBytes - 1);
+}
+
+/** Number of whole blocks needed to hold `bytes` bytes. */
+constexpr std::size_t
+blocksFor(std::size_t bytes)
+{
+    return (bytes + kBlockBytes - 1) / kBlockBytes;
+}
+
+} // namespace cni
+
+#endif // CNI_SIM_TYPES_HPP

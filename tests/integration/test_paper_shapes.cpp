@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Paper-shape assertions: the qualitative results of Sections 5.1 and
+ * 5.2 must hold in this reproduction — who wins, in what order, and
+ * where the knees fall. These are the regression guards for the whole
+ * model; absolute numbers live in EXPERIMENTS.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "core/microbench.hpp"
+
+namespace cni
+{
+namespace
+{
+
+double
+rtUs(NiModel m, NiPlacement p, std::size_t bytes)
+{
+    SystemConfig cfg(m, p);
+    cfg.numNodes = 2;
+    return roundTripLatency(cfg, bytes, /*rounds=*/8).microseconds;
+}
+
+double
+bwMBps(NiModel m, NiPlacement p, std::size_t bytes)
+{
+    SystemConfig cfg(m, p);
+    cfg.numNodes = 2;
+    return streamBandwidth(cfg, bytes, /*messages=*/48).megabytesPerSec;
+}
+
+TEST(PaperShapes, CnisBeatNi2wLatencyAt64BOnBothBuses)
+{
+    // Abstract: 37% better on the memory bus, 74% on the I/O bus.
+    const double memRatio = rtUs(NiModel::NI2w, NiPlacement::MemoryBus, 64) /
+                            rtUs(NiModel::CNI16Qm, NiPlacement::MemoryBus, 64);
+    const double ioRatio = rtUs(NiModel::NI2w, NiPlacement::IoBus, 64) /
+                           rtUs(NiModel::CNI512Q, NiPlacement::IoBus, 64);
+    EXPECT_GT(memRatio, 1.10); // at least 10% better
+    EXPECT_GT(ioRatio, 1.30);  // the I/O-bus advantage is larger
+    EXPECT_GT(ioRatio, memRatio);
+}
+
+TEST(PaperShapes, LatencyAdvantageGrowsWithMessageSize)
+{
+    // Section 5.1.1: 20-84% better across 8..256 bytes on the memory bus.
+    const double small =
+        rtUs(NiModel::NI2w, NiPlacement::MemoryBus, 8) /
+        rtUs(NiModel::CNI512Q, NiPlacement::MemoryBus, 8);
+    const double large =
+        rtUs(NiModel::NI2w, NiPlacement::MemoryBus, 256) /
+        rtUs(NiModel::CNI512Q, NiPlacement::MemoryBus, 256);
+    EXPECT_GT(small, 1.0);
+    EXPECT_GT(large, small);
+    EXPECT_GT(large, 1.5);
+}
+
+TEST(PaperShapes, CqCnisHaveLowestLatency)
+{
+    // Section 5.1.1: CNI16Q/CNI512Q lowest; CNI4 worst of the CNIs
+    // (uncached status polls + three-cycle handshake); CNI16Qm slightly
+    // above the device-homed queues (overflow flushes).
+    const double cni4 = rtUs(NiModel::CNI4, NiPlacement::MemoryBus, 128);
+    const double q16 = rtUs(NiModel::CNI16Q, NiPlacement::MemoryBus, 128);
+    const double q512 = rtUs(NiModel::CNI512Q, NiPlacement::MemoryBus, 128);
+    const double qm = rtUs(NiModel::CNI16Qm, NiPlacement::MemoryBus, 128);
+    EXPECT_LT(q512, cni4);
+    EXPECT_LT(q16, cni4);
+    EXPECT_LT(q512, qm);
+}
+
+TEST(PaperShapes, CacheBusNi2wIsTheLatencyUpperBound)
+{
+    const double cache = rtUs(NiModel::NI2w, NiPlacement::CacheBus, 64);
+    EXPECT_LT(cache, rtUs(NiModel::CNI16Qm, NiPlacement::MemoryBus, 64));
+    EXPECT_LT(cache, rtUs(NiModel::NI2w, NiPlacement::MemoryBus, 64));
+}
+
+TEST(PaperShapes, BandwidthCnisBeatNi2wSubstantially)
+{
+    // Abstract: +125% (memory bus) and +123% (I/O bus) at 64 bytes; we
+    // require at least +50% and +80% respectively.
+    const double mem64 = bwMBps(NiModel::CNI16Qm, NiPlacement::MemoryBus, 64) /
+                         bwMBps(NiModel::NI2w, NiPlacement::MemoryBus, 64);
+    const double io64 = bwMBps(NiModel::CNI512Q, NiPlacement::IoBus, 64) /
+                        bwMBps(NiModel::NI2w, NiPlacement::IoBus, 64);
+    EXPECT_GT(mem64, 1.5);
+    EXPECT_GT(io64, 1.8);
+}
+
+TEST(PaperShapes, Ni2wBandwidthSaturatesEarly)
+{
+    // Figure 7: NI2w's uncached word transfers cap its bandwidth; large
+    // messages gain little over 256-byte ones.
+    const double at256 = bwMBps(NiModel::NI2w, NiPlacement::MemoryBus, 256);
+    const double at4096 = bwMBps(NiModel::NI2w, NiPlacement::MemoryBus, 4096);
+    EXPECT_LT(at4096 / at256, 1.25);
+    // While CNI512Q keeps scaling past 256 bytes.
+    const double cni256 =
+        bwMBps(NiModel::CNI512Q, NiPlacement::MemoryBus, 256);
+    const double cni4096 =
+        bwMBps(NiModel::CNI512Q, NiPlacement::MemoryBus, 4096);
+    EXPECT_GT(cni4096 / cni256, 1.15);
+}
+
+TEST(PaperShapes, SnarfingImprovesQmBandwidth)
+{
+    // Section 5.1.2: data snarfing improves CNI16Qm bandwidth by as much
+    // as 45% (it eliminates receive-queue invalidation misses).
+    SystemConfig plain(NiModel::CNI16Qm, NiPlacement::MemoryBus);
+    SystemConfig snarf(NiModel::CNI16Qm, NiPlacement::MemoryBus);
+    plain.numNodes = snarf.numNodes = 2;
+    snarf.snarfing = true;
+    const double a = streamBandwidth(plain, 2048, 48).megabytesPerSec;
+    const double b = streamBandwidth(snarf, 2048, 48).megabytesPerSec;
+    EXPECT_GT(b, a * 1.15);
+}
+
+TEST(PaperShapes, MacroCqCnisReduceMemoryBusOccupancy)
+{
+    // Section 5.2: CQ-based CNIs cut memory-bus occupancy by as much as
+    // ~66% on average; CNI4 by ~23% (it still polls across the bus).
+    double cqSum = 0, cni4Sum = 0;
+    int n = 0;
+    for (const char *app : {"em3d", "moldyn"}) {
+        SystemConfig base(NiModel::NI2w, NiPlacement::MemoryBus);
+        SystemConfig cq(NiModel::CNI512Q, NiPlacement::MemoryBus);
+        SystemConfig c4(NiModel::CNI4, NiPlacement::MemoryBus);
+        const double b =
+            double(runMacrobenchmark(app, base).memBusOccupied);
+        cqSum += runMacrobenchmark(app, cq).memBusOccupied / b;
+        cni4Sum += runMacrobenchmark(app, c4).memBusOccupied / b;
+        ++n;
+    }
+    EXPECT_LT(cqSum / n, 0.60);   // >= 40% occupancy reduction
+    EXPECT_LT(cni4Sum / n, 1.05); // CNI4 no worse than NI2w
+    EXPECT_LT(cqSum, cni4Sum);    // CQ designs reduce it far more
+}
+
+TEST(PaperShapes, MacroCnisImproveBulkApps)
+{
+    // Figure 8: gauss and moldyn (bulk transfers) gain the most from
+    // block-granularity NI access.
+    for (const char *app : {"gauss", "moldyn"}) {
+        SystemConfig base(NiModel::NI2w, NiPlacement::MemoryBus);
+        SystemConfig qm(NiModel::CNI16Qm, NiPlacement::MemoryBus);
+        const Tick tBase = runMacrobenchmark(app, base).ticks;
+        const Tick tQm = runMacrobenchmark(app, qm).ticks;
+        EXPECT_GT(double(tBase) / tQm, 1.4) << app;
+    }
+}
+
+TEST(PaperShapes, IoBusCniGainsExceedMemoryBusGains)
+{
+    // Abstract: 17-53% on the memory bus vs 30-88% on the I/O bus.
+    for (const char *app : {"em3d", "appbt"}) {
+        SystemConfig memBase(NiModel::NI2w, NiPlacement::MemoryBus);
+        SystemConfig memCni(NiModel::CNI512Q, NiPlacement::MemoryBus);
+        SystemConfig ioBase(NiModel::NI2w, NiPlacement::IoBus);
+        SystemConfig ioCni(NiModel::CNI512Q, NiPlacement::IoBus);
+        const double memGain =
+            double(runMacrobenchmark(app, memBase).ticks) /
+            runMacrobenchmark(app, memCni).ticks;
+        const double ioGain =
+            double(runMacrobenchmark(app, ioBase).ticks) /
+            runMacrobenchmark(app, ioCni).ticks;
+        EXPECT_GT(ioGain, 1.2) << app;
+        EXPECT_GT(ioGain, memGain * 0.95) << app;
+    }
+}
+
+} // namespace
+} // namespace cni

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * End-to-end integration tests: active-message ping-pong over every valid
+ * NI/placement configuration, verifying delivery, payload integrity, and
+ * forward progress.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace cni
+{
+namespace
+{
+
+struct PingPongFixtureState
+{
+    int pongsSeen = 0;
+    int pingsSeen = 0;
+    std::vector<std::uint8_t> lastPayload;
+};
+
+CoTask<void>
+pinger(MsgLayer &msg, PingPongFixtureState &st, int rounds,
+       std::size_t bytes)
+{
+    std::vector<std::uint8_t> payload(bytes);
+    std::iota(payload.begin(), payload.end(), 1);
+    for (int r = 0; r < rounds; ++r) {
+        co_await msg.send(1, /*handler=*/1, payload.data(), payload.size());
+        const int want = r + 1;
+        co_await msg.pollUntil([&] { return st.pongsSeen >= want; });
+    }
+}
+
+CoTask<void>
+ponger(MsgLayer &msg, PingPongFixtureState &st, int rounds)
+{
+    co_await msg.pollUntil([&] { return st.pingsSeen >= rounds; });
+}
+
+/** Run `rounds` ping-pongs of `bytes`-byte messages; return final tick. */
+Tick
+runPingPong(const SystemConfig &cfg, int rounds, std::size_t bytes,
+            PingPongFixtureState &st)
+{
+    System sys(cfg);
+    auto &m0 = sys.msg(0);
+    auto &m1 = sys.msg(1);
+
+    // Node 1: echo each ping back as a pong.
+    m1.registerHandler(1, [&](const UserMsg &u) -> CoTask<void> {
+        ++st.pingsSeen;
+        st.lastPayload = u.payload;
+        co_await m1.send(0, 2, u.payload.data(), u.payload.size());
+    });
+    // Node 0: count pongs.
+    m0.registerHandler(2, [&](const UserMsg &u) -> CoTask<void> {
+        ++st.pongsSeen;
+        st.lastPayload = u.payload;
+        co_return;
+    });
+
+    sys.spawn(0, pinger(m0, st, rounds, bytes));
+    sys.spawn(1, ponger(m1, st, rounds));
+    return sys.run();
+}
+
+struct ConfigCase
+{
+    NiModel ni;
+    NiPlacement placement;
+};
+
+class PingPongAllConfigs : public ::testing::TestWithParam<ConfigCase>
+{
+};
+
+TEST_P(PingPongAllConfigs, DeliversIntactPayloads)
+{
+    const auto &pc = GetParam();
+    SystemConfig cfg(pc.ni, pc.placement);
+    cfg.numNodes = 2;
+    PingPongFixtureState st;
+    const Tick t = runPingPong(cfg, /*rounds=*/5, /*bytes=*/64, st);
+    EXPECT_EQ(st.pingsSeen, 5);
+    EXPECT_EQ(st.pongsSeen, 5);
+    ASSERT_EQ(st.lastPayload.size(), 64u);
+    for (std::size_t i = 0; i < 64; ++i)
+        EXPECT_EQ(st.lastPayload[i], static_cast<std::uint8_t>(i + 1));
+    EXPECT_GT(t, 0u);
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<ConfigCase> &info)
+{
+    std::string s = toString(info.param.ni);
+    s += "_";
+    s += toString(info.param.placement);
+    for (auto &ch : s)
+        if (ch == '-')
+            ch = '_';
+    return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllValid, PingPongAllConfigs,
+    ::testing::Values(
+        ConfigCase{NiModel::NI2w, NiPlacement::CacheBus},
+        ConfigCase{NiModel::NI2w, NiPlacement::MemoryBus},
+        ConfigCase{NiModel::NI2w, NiPlacement::IoBus},
+        ConfigCase{NiModel::CNI4, NiPlacement::MemoryBus},
+        ConfigCase{NiModel::CNI4, NiPlacement::IoBus},
+        ConfigCase{NiModel::CNI16Q, NiPlacement::MemoryBus},
+        ConfigCase{NiModel::CNI16Q, NiPlacement::IoBus},
+        ConfigCase{NiModel::CNI512Q, NiPlacement::MemoryBus},
+        ConfigCase{NiModel::CNI512Q, NiPlacement::IoBus},
+        ConfigCase{NiModel::CNI16Qm, NiPlacement::MemoryBus}),
+    caseName);
+
+class PingPongSizes : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(PingPongSizes, MultiFragmentMessagesReassemble)
+{
+    SystemConfig cfg(NiModel::CNI512Q, NiPlacement::MemoryBus);
+    cfg.numNodes = 2;
+    PingPongFixtureState st;
+    const std::size_t bytes = GetParam();
+    System sys(cfg);
+    auto &m0 = sys.msg(0);
+    auto &m1 = sys.msg(1);
+    m1.registerHandler(1, [&](const UserMsg &u) -> CoTask<void> {
+        ++st.pingsSeen;
+        st.lastPayload = u.payload;
+        co_return;
+    });
+    std::vector<std::uint8_t> payload(bytes);
+    for (std::size_t i = 0; i < bytes; ++i)
+        payload[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    sys.spawn(0, [](MsgLayer &m, std::vector<std::uint8_t> &p)
+                  -> CoTask<void> {
+        co_await m.send(1, 1, p.data(), p.size());
+    }(m0, payload));
+    sys.spawn(1, ponger(m1, st, 1));
+    sys.run();
+    ASSERT_EQ(st.lastPayload.size(), bytes);
+    EXPECT_EQ(st.lastPayload, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PingPongSizes,
+                         ::testing::Values(std::size_t{0}, std::size_t{8},
+                                           std::size_t{64}, std::size_t{244},
+                                           std::size_t{245}, std::size_t{512},
+                                           std::size_t{2048},
+                                           std::size_t{4096}));
+
+TEST(PingPong, CniIsFasterThanNi2wOnMemoryBus)
+{
+    PingPongFixtureState a, b;
+    SystemConfig ni2w(NiModel::NI2w, NiPlacement::MemoryBus);
+    ni2w.numNodes = 2;
+    SystemConfig cniq(NiModel::CNI512Q, NiPlacement::MemoryBus);
+    cniq.numNodes = 2;
+    const Tick tNi = runPingPong(ni2w, 10, 64, a);
+    const Tick tCni = runPingPong(cniq, 10, 64, b);
+    EXPECT_LT(tCni, tNi);
+}
+
+TEST(PingPong, CacheBusIsFastestForNi2w)
+{
+    PingPongFixtureState a, b, c;
+    SystemConfig cache(NiModel::NI2w, NiPlacement::CacheBus);
+    SystemConfig mem(NiModel::NI2w, NiPlacement::MemoryBus);
+    SystemConfig io(NiModel::NI2w, NiPlacement::IoBus);
+    cache.numNodes = mem.numNodes = io.numNodes = 2;
+    const Tick tc = runPingPong(cache, 10, 64, a);
+    const Tick tm = runPingPong(mem, 10, 64, b);
+    const Tick ti = runPingPong(io, 10, 64, c);
+    EXPECT_LT(tc, tm);
+    EXPECT_LT(tm, ti);
+}
+
+} // namespace
+} // namespace cni

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace cni
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(30, [&] { order.push_back(3); });
+    eq.scheduleAt(10, [&] { order.push_back(1); });
+    eq.scheduleAt(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleAt(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.scheduleAt(100, [&] {
+        eq.scheduleIn(50, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 100)
+            eq.scheduleIn(1, chain);
+    };
+    eq.scheduleIn(1, chain);
+    eq.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int ran = 0;
+    for (Tick t = 10; t <= 100; t += 10)
+        eq.scheduleAt(t, [&] { ++ran; });
+    eq.runUntil(50);
+    EXPECT_EQ(ran, 5);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(ran, 10);
+}
+
+TEST(EventQueue, RunUntilDonePredicate)
+{
+    EventQueue eq;
+    int count = 0;
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleAt(i + 1, [&] { ++count; });
+    bool ok = eq.runUntilDone([&] { return count >= 4; });
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(count, 4);
+}
+
+TEST(EventQueue, RunUntilDoneReturnsFalseOnDrain)
+{
+    EventQueue eq;
+    eq.scheduleAt(1, [] {});
+    bool ok = eq.runUntilDone([] { return false; });
+    EXPECT_FALSE(ok);
+}
+
+TEST(EventQueue, ExecutedCounter)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.scheduleAt(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 7u);
+}
+
+} // namespace
+} // namespace cni

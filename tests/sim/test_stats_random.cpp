@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Statistics package and deterministic RNG tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace cni
+{
+namespace
+{
+
+TEST(Stats, CountersDefaultToZeroAndAccumulate)
+{
+    StatSet s("x");
+    EXPECT_EQ(s.counter("a"), 0u);
+    s.incr("a");
+    s.incr("a", 4);
+    EXPECT_EQ(s.counter("a"), 5u);
+}
+
+TEST(Stats, ScalarTracksMinMaxMean)
+{
+    StatSet s;
+    s.sample("lat", 10);
+    s.sample("lat", 20);
+    s.sample("lat", 60);
+    const Scalar &sc = s.scalar("lat");
+    EXPECT_EQ(sc.count(), 3u);
+    EXPECT_DOUBLE_EQ(sc.mean(), 30.0);
+    EXPECT_DOUBLE_EQ(sc.min(), 10.0);
+    EXPECT_DOUBLE_EQ(sc.max(), 60.0);
+}
+
+TEST(Stats, MergeIsExact)
+{
+    StatSet a, b;
+    a.incr("n", 3);
+    b.incr("n", 4);
+    a.sample("v", 1);
+    b.sample("v", 9);
+    b.sample("v", 2);
+    a.merge(b);
+    EXPECT_EQ(a.counter("n"), 7u);
+    EXPECT_EQ(a.scalar("v").count(), 3u);
+    EXPECT_DOUBLE_EQ(a.scalar("v").sum(), 12.0);
+    EXPECT_DOUBLE_EQ(a.scalar("v").min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.scalar("v").max(), 9.0);
+}
+
+TEST(Stats, DumpIsPrefixed)
+{
+    StatSet s("node0");
+    s.incr("polls", 2);
+    std::ostringstream os;
+    s.dump(os);
+    EXPECT_NE(os.str().find("node0.polls 2"), std::string::npos);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng r(9);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.range(3, 6);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 6);
+        sawLo |= (v == 3);
+        sawHi |= (v == 6);
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformCoversUnitInterval)
+{
+    Rng r(11);
+    double lo = 1.0, hi = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.uniform();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    EXPECT_LT(lo, 0.01);
+    EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, ChanceMatchesProbabilityRoughly)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+} // namespace
+} // namespace cni

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared test scaffolding: a miniature node rig (bus + memory + caches)
+ * and helpers to run coroutines to completion inside tests.
+ */
+
+#ifndef CNI_TESTS_TEST_UTIL_HPP
+#define CNI_TESTS_TEST_UTIL_HPP
+
+#include <memory>
+
+#include "bus/bus.hpp"
+#include "mem/cache.hpp"
+#include "mem/main_memory.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/task.hpp"
+
+namespace cni::test
+{
+
+/** Run a coroutine to completion on a fresh event queue. */
+inline Tick
+runTask(EventQueue &eq, CoTask<void> task)
+{
+    TaskGroup group(eq);
+    group.spawn(std::move(task));
+    eq.run();
+    return eq.now();
+}
+
+/**
+ * Two caches and a main memory on one memory bus — enough to exercise
+ * every MOESI transition.
+ */
+struct TwoCacheRig
+{
+    EventQueue eq;
+    SnoopBus bus{eq, "membus", BusKind::MemoryBus};
+    MainMemory memory;
+    Cache a{eq, "cacheA", 64, Initiator::Processor};
+    Cache b{eq, "cacheB", 64, Initiator::Processor};
+
+    TwoCacheRig()
+    {
+        bus.attach(&memory);
+        const int ia = bus.attach(&a);
+        const int ib = bus.attach(&b);
+        a.setRequesterId(ia);
+        b.setRequesterId(ib);
+        auto port = [this](const BusTxn &txn,
+                           std::function<void(SnoopResult)> done) {
+            bus.transact(txn, std::move(done));
+        };
+        a.setIssuePort(port);
+        b.setIssuePort(port);
+    }
+
+    Tick run(CoTask<void> task) { return runTask(eq, std::move(task)); }
+};
+
+} // namespace cni::test
+
+#endif // CNI_TESTS_TEST_UTIL_HPP
