@@ -15,9 +15,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "core/cq.hpp"
 #include "core/microbench.hpp"
+#include "sim/cli.hpp"
 #include "sim/logging.hpp"
 
 using namespace cni;
@@ -25,42 +27,59 @@ using namespace cni;
 namespace
 {
 
-SystemConfig
-configWith(bool lazy, bool valid, bool sense)
+std::string g_model = "CNI512Q"; //!< --ni picks the CNIiQ model to ablate
+int g_nodes = 2;                 //!< --nodes
+
+CniqConfig
+presetFor(const std::string &model)
 {
-    SystemConfig cfg(NiModel::CNI512Q, NiPlacement::MemoryBus);
-    cfg.numNodes = 2;
-    cfg.cniqOverride = std::make_unique<CniqConfig>(CniqConfig::cni512q());
-    cfg.cniqOverride->lazySendHead = lazy;
-    cfg.cniqOverride->msgValidBits = valid;
-    cfg.cniqOverride->senseReverse = sense;
-    return cfg;
+    if (auto preset = CniqConfig::preset(model))
+        return *preset;
+    cni_fatal("the cachable-queue ablation needs a CNIiQ model "
+              "(CNI16Q, CNI512Q, CNI16Qm), not '%s'",
+              model.c_str());
+}
+
+MachineSpec
+specWith(bool lazy, bool valid, bool sense)
+{
+    CniqConfig qc = presetFor(g_model);
+    qc.lazySendHead = lazy;
+    qc.msgValidBits = valid;
+    qc.senseReverse = sense;
+    return Machine::describe()
+        .nodes(g_nodes)
+        .ni(g_model)
+        .cniq(qc)
+        .spec();
 }
 
 void
 runCase(const char *label, bool lazy, bool valid, bool sense)
 {
-    const auto lat = roundTripLatency(configWith(lazy, valid, sense), 64);
-    const auto bw = streamBandwidth(configWith(lazy, valid, sense), 256);
+    const auto lat = roundTripLatency(specWith(lazy, valid, sense), 64);
+    const auto bw = streamBandwidth(specWith(lazy, valid, sense), 256);
 
     // Coherence traffic counters from a fixed stream.
-    SystemConfig cfg = configWith(lazy, valid, sense);
-    System sys(cfg);
+    Machine sys(specWith(lazy, valid, sense));
+    Endpoint &e0 = sys.endpoint(0);
+    Endpoint &e1 = sys.endpoint(1);
     int rx = 0;
-    sys.msg(1).registerHandler(1, [&](const UserMsg &) -> CoTask<void> {
+    e1.onMessage(1, [&](const UserMsg &) -> CoTask<void> {
         ++rx;
         co_return;
     });
     std::vector<std::uint8_t> p(64, 1);
-    sys.spawn(0, [](MsgLayer &m, std::vector<std::uint8_t> &p)
+    sys.spawn(0, [](Endpoint &e, std::vector<std::uint8_t> &p)
                   -> CoTask<void> {
         for (int i = 0; i < 50; ++i)
-            co_await m.send(1, 1, p.data(), p.size());
-    }(sys.msg(0), p));
-    sys.spawn(1, [](MsgLayer &m, int *rx) -> CoTask<void> {
-        co_await m.pollUntil([=] { return *rx >= 50; });
-    }(sys.msg(1), &rx));
+            co_await e.send(1, 1, p.data(), p.size());
+    }(e0, p));
+    sys.spawn(1, [](Endpoint &e, int *rx) -> CoTask<void> {
+        co_await e.pollUntil([=] { return *rx >= 50; });
+    }(e1, &rx));
     sys.run();
+    report::add(std::string("ablation_cq stream ") + label, sys.report());
     const auto st = sys.aggregateStats();
 
     std::printf("%-28s %8.2f %8.1f %10llu %10llu %10llu\n", label,
@@ -75,12 +94,19 @@ runCase(const char *label, bool lazy, bool valid, bool sense)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
-    std::printf("Cachable-queue optimization ablation (CNI512Q, memory "
+    const cli::Options opts =
+        cli::parse(argc, argv, "(--ni picks the ablated CNIiQ model)");
+    if (opts.ni)
+        g_model = *opts.ni;
+    if (opts.nodes)
+        g_nodes = *opts.nodes;
+    std::printf("Cachable-queue optimization ablation (%s, memory "
                 "bus, 64B messages; traffic columns from a 50-message "
-                "stream)\n\n");
+                "stream)\n\n",
+                g_model.c_str());
     std::printf("%-28s %8s %8s %10s %10s %10s\n", "configuration", "rt-us",
                 "MB/s", "uncRd", "upgrades", "shadowRef");
     runCase("all optimizations", true, true, true);
@@ -104,5 +130,6 @@ main()
                     q.capacity(),
                     double(q.shadowRefreshes()) / passes);
     }
+    opts.emitReports();
     return 0;
 }

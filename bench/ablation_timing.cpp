@@ -14,14 +14,29 @@
 #include <cstdio>
 
 #include "core/microbench.hpp"
+#include "sim/cli.hpp"
 #include "sim/logging.hpp"
 
 using namespace cni;
 
+namespace
+{
+
+MachineSpec
+twoNode(const char *ni)
+{
+    return Machine::describe().nodes(2).ni(ni).spec();
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    const cli::Options opts = cli::parse(
+        argc, argv,
+        "(fixed model sweep: configuration flags are ignored)");
 
     std::printf("Invalidate-occupancy sensitivity (64-byte round trip, "
                 "memory bus)\n");
@@ -32,29 +47,23 @@ main()
                 "compile-time table).\n\n");
 
     // Direct comparison at the default setting:
-    SystemConfig ni2w(NiModel::NI2w, NiPlacement::MemoryBus);
-    ni2w.numNodes = 2;
-    const double base = roundTripLatency(ni2w, 64).microseconds;
+    const double base = roundTripLatency(twoNode("NI2w"), 64).microseconds;
     std::printf("%-18s %10s %10s\n", "config", "rt-us", "vs NI2w");
     std::printf("%-18s %10.2f %10s\n", "NI2w", base, "1.00x");
-    for (NiModel m : {NiModel::CNI4, NiModel::CNI16Q, NiModel::CNI512Q,
-                      NiModel::CNI16Qm}) {
-        SystemConfig cfg(m, NiPlacement::MemoryBus);
-        cfg.numNodes = 2;
-        const double us = roundTripLatency(cfg, 64).microseconds;
-        std::printf("%-18s %10.2f %9.2fx\n", toString(m), us, base / us);
+    for (const char *m : {"CNI4", "CNI16Q", "CNI512Q", "CNI16Qm"}) {
+        const double us = roundTripLatency(twoNode(m), 64).microseconds;
+        std::printf("%-18s %10.2f %9.2fx\n", m, us, base / us);
     }
 
     std::printf("\nMessage-size scaling of the CNI advantage "
                 "(CNI512Q vs NI2w, memory bus):\n%8s %10s %10s %10s\n",
                 "bytes", "NI2w us", "CNI us", "ratio");
     for (std::size_t sz : {8ul, 32ul, 128ul, 256ul}) {
-        SystemConfig a(NiModel::NI2w, NiPlacement::MemoryBus);
-        SystemConfig b(NiModel::CNI512Q, NiPlacement::MemoryBus);
-        a.numNodes = b.numNodes = 2;
-        const double ua = roundTripLatency(a, sz).microseconds;
-        const double ub = roundTripLatency(b, sz).microseconds;
+        const double ua = roundTripLatency(twoNode("NI2w"), sz).microseconds;
+        const double ub =
+            roundTripLatency(twoNode("CNI512Q"), sz).microseconds;
         std::printf("%8zu %10.2f %10.2f %9.2fx\n", sz, ua, ub, ua / ub);
     }
+    opts.emitReports();
     return 0;
 }

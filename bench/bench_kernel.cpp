@@ -69,10 +69,10 @@ void
 BM_SimulatedRoundTrip(benchmark::State &state)
 {
     setVerbose(false);
+    const MachineSpec spec =
+        Machine::describe().nodes(2).ni("CNI512Q").spec();
     for (auto _ : state) {
-        SystemConfig cfg(NiModel::CNI512Q, NiPlacement::MemoryBus);
-        cfg.numNodes = 2;
-        auto r = roundTripLatency(cfg, 64, /*rounds=*/4, /*warmup=*/2);
+        auto r = roundTripLatency(spec, 64, /*rounds=*/4, /*warmup=*/2);
         benchmark::DoNotOptimize(r.cycles);
     }
 }

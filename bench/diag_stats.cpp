@@ -6,9 +6,10 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "core/microbench.hpp"
-#include "core/system.hpp"
+#include "sim/cli.hpp"
 #include "sim/logging.hpp"
 
 using namespace cni;
@@ -17,43 +18,43 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    const std::size_t bytes = argc > 1 ? std::stoul(argv[1]) : 64;
+    const cli::Options opts = cli::parse(argc, argv, "[bytes]");
+    const std::size_t bytes =
+        !opts.positional.empty() ? std::stoul(opts.positional[0]) : 64;
 
-    for (NiModel m : {NiModel::CNI4, NiModel::CNI16Q, NiModel::CNI512Q,
-                      NiModel::CNI16Qm}) {
-        SystemConfig cfg(m, NiPlacement::MemoryBus);
-        cfg.numNodes = 2;
-
-        System sys(cfg);
-        auto &m0 = sys.msg(0);
-        auto &m1 = sys.msg(1);
+    for (const char *m : {"CNI4", "CNI16Q", "CNI512Q", "CNI16Qm"}) {
+        Machine sys = Machine::describe().nodes(2).ni(m).build();
+        Endpoint &e0 = sys.endpoint(0);
+        Endpoint &e1 = sys.endpoint(1);
         int pongs = 0;
         std::vector<std::uint8_t> payload(bytes, 1);
-        m1.registerHandler(1, [&](const UserMsg &u) -> CoTask<void> {
-            co_await m1.send(0, 2, u.payload.data(), u.payload.size());
+        e1.onMessage(1, [&](const UserMsg &u) -> CoTask<void> {
+            co_await e1.send(0, 2, u.payload.data(), u.payload.size());
         });
-        m0.registerHandler(2, [&](const UserMsg &) -> CoTask<void> {
+        e0.onMessage(2, [&](const UserMsg &) -> CoTask<void> {
             ++pongs;
             co_return;
         });
-        sys.spawn(0, [](MsgLayer &m0, std::vector<std::uint8_t> &p,
+        sys.spawn(0, [](Endpoint &e, std::vector<std::uint8_t> &p,
                         int &pongs) -> CoTask<void> {
             for (int r = 0; r < 10; ++r) {
-                co_await m0.send(1, 1, p.data(), p.size());
+                co_await e.send(1, 1, p.data(), p.size());
                 const int want = r + 1;
-                co_await m0.pollUntil([&] { return pongs >= want; });
+                co_await e.pollUntil([&] { return pongs >= want; });
             }
-        }(m0, payload, pongs));
-        sys.spawn(1, [](MsgLayer &m1, int *pongs) -> CoTask<void> {
-            co_await m1.pollUntil([=] { return *pongs >= 10; });
-        }(m1, &pongs));
+        }(e0, payload, pongs));
+        sys.spawn(1, [](Endpoint &e, int *pongs) -> CoTask<void> {
+            co_await e.pollUntil([=] { return *pongs >= 10; });
+        }(e1, &pongs));
         const Tick t = sys.run();
 
-        std::cout << "==== " << cfg.label() << " " << bytes
+        std::cout << "==== " << sys.spec().label() << " " << bytes
                   << "B x10 round trips: " << t << " cycles ("
                   << t / kCyclesPerMicrosecond / 10 << " us/rt)\n";
         sys.aggregateStats().dump(std::cout);
         std::cout << "\n";
+        report::add(std::string("diag_stats ") + m, sys.report());
     }
+    opts.emitReports();
     return 0;
 }

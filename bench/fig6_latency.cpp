@@ -8,13 +8,16 @@
  *
  * Also prints the abstract's headline comparison: the best CNI's
  * improvement over NI2w for a 64-byte message on each bus.
+ *
+ * Per-run config+stats land in fig6_latency.report.json (see --json).
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/microbench.hpp"
-#include "core/system.hpp"
+#include "sim/cli.hpp"
 #include "sim/logging.hpp"
 
 using namespace cni;
@@ -25,25 +28,25 @@ namespace
 const std::vector<std::size_t> kSizes = {8, 16, 32, 64, 128, 256};
 
 double
-measure(NiModel ni, NiPlacement p, std::size_t bytes)
+measure(const std::string &ni, NiPlacement p, std::size_t bytes)
 {
-    SystemConfig cfg(ni, p);
-    cfg.numNodes = 2;
-    return roundTripLatency(cfg, bytes).microseconds;
+    const MachineSpec spec =
+        Machine::describe().nodes(2).ni(ni).placement(p).spec();
+    return roundTripLatency(spec, bytes).microseconds;
 }
 
 void
 panel(const char *title, NiPlacement p,
-      const std::vector<NiModel> &models)
+      const std::vector<std::string> &models)
 {
     std::printf("\n%s\n", title);
     std::printf("%8s", "bytes");
-    for (auto m : models)
-        std::printf("%10s", toString(m));
+    for (const auto &m : models)
+        std::printf("%10s", m.c_str());
     std::printf("\n");
     for (auto sz : kSizes) {
         std::printf("%8zu", sz);
-        for (auto m : models)
+        for (const auto &m : models)
             std::printf("%10.2f", measure(m, p, sz));
         std::printf("\n");
     }
@@ -52,33 +55,33 @@ panel(const char *title, NiPlacement p,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    const cli::Options opts = cli::parse(
+        argc, argv,
+        "(fixed NI/placement sweep: only --json is honored)");
     std::printf("Figure 6: round-trip latency (microseconds)\n");
 
     panel("(a) memory bus", NiPlacement::MemoryBus,
-          {NiModel::NI2w, NiModel::CNI4, NiModel::CNI16Q, NiModel::CNI512Q,
-           NiModel::CNI16Qm});
+          {"NI2w", "CNI4", "CNI16Q", "CNI512Q", "CNI16Qm"});
     panel("(b) I/O bus", NiPlacement::IoBus,
-          {NiModel::NI2w, NiModel::CNI4, NiModel::CNI16Q,
-           NiModel::CNI512Q});
+          {"NI2w", "CNI4", "CNI16Q", "CNI512Q"});
 
     std::printf("\n(c) alternate buses\n%8s%14s%16s%14s\n", "bytes",
                 "NI2w/cache", "CNI16Qm/memory", "CNI512Q/io");
     for (auto sz : kSizes) {
         std::printf("%8zu%14.2f%16.2f%14.2f\n", sz,
-                    measure(NiModel::NI2w, NiPlacement::CacheBus, sz),
-                    measure(NiModel::CNI16Qm, NiPlacement::MemoryBus, sz),
-                    measure(NiModel::CNI512Q, NiPlacement::IoBus, sz));
+                    measure("NI2w", NiPlacement::CacheBus, sz),
+                    measure("CNI16Qm", NiPlacement::MemoryBus, sz),
+                    measure("CNI512Q", NiPlacement::IoBus, sz));
     }
 
     // Headline numbers (abstract): improvement at 64 bytes.
-    const double ni2wMem = measure(NiModel::NI2w, NiPlacement::MemoryBus, 64);
-    const double cniMem =
-        measure(NiModel::CNI16Qm, NiPlacement::MemoryBus, 64);
-    const double ni2wIo = measure(NiModel::NI2w, NiPlacement::IoBus, 64);
-    const double cniIo = measure(NiModel::CNI512Q, NiPlacement::IoBus, 64);
+    const double ni2wMem = measure("NI2w", NiPlacement::MemoryBus, 64);
+    const double cniMem = measure("CNI16Qm", NiPlacement::MemoryBus, 64);
+    const double ni2wIo = measure("NI2w", NiPlacement::IoBus, 64);
+    const double cniIo = measure("CNI512Q", NiPlacement::IoBus, 64);
     // "X% better" in the paper is the speed ratio NI2w/CNI - 1.
     std::printf("\nheadline (64-byte message round-trip):\n");
     std::printf("  memory bus: NI2w %.2fus vs CNI16Qm %.2fus -> "
@@ -87,5 +90,6 @@ main()
     std::printf("  I/O bus:    NI2w %.2fus vs CNI512Q %.2fus -> "
                 "%.0f%% better (paper: 74%%)\n",
                 ni2wIo, cniIo, 100.0 * (ni2wIo / cniIo - 1.0));
+    opts.emitReports();
     return 0;
 }

@@ -7,13 +7,16 @@
  *  (a) memory bus, including CNI16Qm with data snarfing
  *  (b) I/O bus
  *  (c) best CNI per bus vs NI2w on the cache bus
+ *
+ * Per-run config+stats land in fig7_bandwidth.report.json (see --json).
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/microbench.hpp"
-#include "core/system.hpp"
+#include "sim/cli.hpp"
 #include "sim/logging.hpp"
 
 using namespace cni;
@@ -25,24 +28,31 @@ const std::vector<std::size_t> kSizes = {8,   16,  32,   64,   128,
                                          256, 512, 1024, 2048, 4096};
 
 BandwidthResult
-measure(NiModel ni, NiPlacement p, std::size_t bytes, bool snarf = false)
+measure(const std::string &ni, NiPlacement p, std::size_t bytes,
+        bool snarf = false)
 {
-    SystemConfig cfg(ni, p);
-    cfg.numNodes = 2;
-    cfg.snarfing = snarf;
+    const MachineSpec spec = Machine::describe()
+                                 .nodes(2)
+                                 .ni(ni)
+                                 .placement(p)
+                                 .snarfing(snarf)
+                                 .spec();
     // Keep total transferred bytes roughly constant across sizes.
     const int messages =
         std::max(24, static_cast<int>(64 * 1024 / std::max<std::size_t>(
                                                       bytes, 64)));
-    return streamBandwidth(cfg, bytes, messages, messages / 8);
+    return streamBandwidth(spec, bytes, messages, messages / 8);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    const cli::Options opts = cli::parse(
+        argc, argv,
+        "(fixed NI/placement sweep: only --json is honored)");
     std::printf("Figure 7: bandwidth relative to local-queue max "
                 "(%.0f MB/s)\n",
                 kLocalQueueMaxMBps);
@@ -52,15 +62,14 @@ main()
                 "Qm+snarf");
     for (auto sz : kSizes) {
         std::printf("%8zu", sz);
-        for (auto m : {NiModel::NI2w, NiModel::CNI4, NiModel::CNI16Q,
-                       NiModel::CNI512Q, NiModel::CNI16Qm}) {
+        for (const char *m :
+             {"NI2w", "CNI4", "CNI16Q", "CNI512Q", "CNI16Qm"}) {
             std::printf("%10.3f",
                         measure(m, NiPlacement::MemoryBus, sz)
                             .relativeToLocalMax);
         }
         std::printf("%12.3f",
-                    measure(NiModel::CNI16Qm, NiPlacement::MemoryBus, sz,
-                            true)
+                    measure("CNI16Qm", NiPlacement::MemoryBus, sz, true)
                         .relativeToLocalMax);
         std::printf("\n");
     }
@@ -69,8 +78,7 @@ main()
                 "CNI4", "CNI16Q", "CNI512Q");
     for (auto sz : kSizes) {
         std::printf("%8zu", sz);
-        for (auto m : {NiModel::NI2w, NiModel::CNI4, NiModel::CNI16Q,
-                       NiModel::CNI512Q}) {
+        for (const char *m : {"NI2w", "CNI4", "CNI16Q", "CNI512Q"}) {
             std::printf("%10.3f",
                         measure(m, NiPlacement::IoBus, sz)
                             .relativeToLocalMax);
@@ -82,24 +90,23 @@ main()
                 "NI2w/cache", "CNI16Qm/memory", "CNI512Q/io");
     for (auto sz : kSizes) {
         std::printf("%8zu%12.3f%16.3f%14.3f\n", sz,
-                    measure(NiModel::NI2w, NiPlacement::CacheBus, sz)
+                    measure("NI2w", NiPlacement::CacheBus, sz)
                         .relativeToLocalMax,
-                    measure(NiModel::CNI16Qm, NiPlacement::MemoryBus, sz)
+                    measure("CNI16Qm", NiPlacement::MemoryBus, sz)
                         .relativeToLocalMax,
-                    measure(NiModel::CNI512Q, NiPlacement::IoBus, sz)
+                    measure("CNI512Q", NiPlacement::IoBus, sz)
                         .relativeToLocalMax);
     }
 
     // Headline numbers (abstract): 64-byte message bandwidth.
     const double ni2wMem =
-        measure(NiModel::NI2w, NiPlacement::MemoryBus, 64).megabytesPerSec;
+        measure("NI2w", NiPlacement::MemoryBus, 64).megabytesPerSec;
     const double cniMem =
-        measure(NiModel::CNI16Qm, NiPlacement::MemoryBus, 64)
-            .megabytesPerSec;
+        measure("CNI16Qm", NiPlacement::MemoryBus, 64).megabytesPerSec;
     const double ni2wIo =
-        measure(NiModel::NI2w, NiPlacement::IoBus, 64).megabytesPerSec;
+        measure("NI2w", NiPlacement::IoBus, 64).megabytesPerSec;
     const double cniIo =
-        measure(NiModel::CNI512Q, NiPlacement::IoBus, 64).megabytesPerSec;
+        measure("CNI512Q", NiPlacement::IoBus, 64).megabytesPerSec;
     std::printf("\nheadline (64-byte message bandwidth):\n");
     std::printf("  memory bus: NI2w %.1f MB/s vs CNI16Qm %.1f MB/s -> "
                 "+%.0f%% (paper: +125%%)\n",
@@ -107,5 +114,6 @@ main()
     std::printf("  I/O bus:    NI2w %.1f MB/s vs CNI512Q %.1f MB/s -> "
                 "+%.0f%% (paper: +123%%)\n",
                 ni2wIo, cniIo, 100.0 * (cniIo - ni2wIo) / ni2wIo);
+    opts.emitReports();
     return 0;
 }

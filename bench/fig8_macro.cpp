@@ -4,13 +4,19 @@
  * and cache buses, normalized to NI2w on the memory bus; plus the
  * Section 5.2 memory-bus occupancy comparison (CQ-based CNIs cut
  * occupancy by up to 66% on average, CNI4 by 23%).
+ *
+ * Per-run config+stats land in fig8_macro.report.json (see --json);
+ * --seed overrides the workload-synthesis seeds, --nodes the machine
+ * size.
  */
 
 #include <cstdio>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "apps/apps.hpp"
+#include "sim/cli.hpp"
 #include "sim/logging.hpp"
 
 using namespace cni;
@@ -26,36 +32,41 @@ struct Cell
 
 using Row = std::map<std::string, Cell>; // config label -> result
 
+cli::Options g_opts;
+
 Cell
-run(const std::string &app, NiModel m, NiPlacement p)
+run(const std::string &app, const std::string &ni, NiPlacement p)
 {
-    SystemConfig cfg(m, p);
-    AppResult r = runMacrobenchmark(app, cfg);
+    MachineBuilder b = Machine::describe().ni(ni).placement(p);
+    if (g_opts.nodes)
+        b.nodes(*g_opts.nodes);
+    AppResult r = runMacrobenchmark(app, b.spec(), g_opts.seedOr(0));
     return Cell{r.ticks, r.memBusOccupied};
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    g_opts = cli::parse(argc, argv,
+                        "(fixed NI/placement sweep: only --nodes, --seed "
+                        "and --json are honored)");
     const auto &apps = macrobenchmarkNames();
 
     std::map<std::string, Row> results;
     for (const auto &app : apps) {
         Row &row = results[app];
-        for (NiModel m : {NiModel::NI2w, NiModel::CNI4, NiModel::CNI16Q,
-                          NiModel::CNI512Q, NiModel::CNI16Qm}) {
-            row[std::string(toString(m)) + "/mem"] =
+        for (const char *m :
+             {"NI2w", "CNI4", "CNI16Q", "CNI512Q", "CNI16Qm"}) {
+            row[std::string(m) + "/mem"] =
                 run(app, m, NiPlacement::MemoryBus);
         }
-        for (NiModel m : {NiModel::NI2w, NiModel::CNI4, NiModel::CNI16Q,
-                          NiModel::CNI512Q}) {
-            row[std::string(toString(m)) + "/io"] =
-                run(app, m, NiPlacement::IoBus);
+        for (const char *m : {"NI2w", "CNI4", "CNI16Q", "CNI512Q"}) {
+            row[std::string(m) + "/io"] = run(app, m, NiPlacement::IoBus);
         }
-        row["NI2w/cache"] = run(app, NiModel::NI2w, NiPlacement::CacheBus);
+        row["NI2w/cache"] = run(app, "NI2w", NiPlacement::CacheBus);
         std::fprintf(stderr, "  [%s done]\n", app.c_str());
     }
 
@@ -138,5 +149,6 @@ main()
             results[app].at("CNI512Q/io").ticks;
         std::printf("  %-10s %+5.0f%%\n", app.c_str(), 100.0 * (s - 1.0));
     }
+    g_opts.emitReports();
     return 0;
 }

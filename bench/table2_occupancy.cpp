@@ -9,6 +9,8 @@
 
 #include "bus/fabric.hpp"
 #include "mem/main_memory.hpp"
+#include "sim/cli.hpp"
+#include "sim/json.hpp"
 #include "sim/logging.hpp"
 
 using namespace cni;
@@ -88,6 +90,19 @@ void
 row(const char *label, Tick cache, Tick mem, Tick io, Tick specCache,
     Tick specMem, Tick specIo)
 {
+    // This bench measures raw bus fabric, not a whole machine, so it
+    // reports its own measured/spec cells instead of Machine::report().
+    JsonWriter w;
+    w.beginObject();
+    w.key("operation").value(label);
+    w.key("cache_bus").value(std::uint64_t(cache));
+    w.key("memory_bus").value(std::uint64_t(mem));
+    w.key("io_bus").value(std::uint64_t(io));
+    w.key("paper_cache_bus").value(std::uint64_t(specCache));
+    w.key("paper_memory_bus").value(std::uint64_t(specMem));
+    w.key("paper_io_bus").value(std::uint64_t(specIo));
+    w.endObject();
+    report::add(label, w.str());
     auto cell = [](Tick v, Tick spec) {
         static char buf[4][32];
         static int i = 0;
@@ -107,9 +122,10 @@ row(const char *label, Tick cache, Tick mem, Tick io, Tick specCache,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    const cli::Options opts = cli::parse(argc, argv);
     std::printf("Table 2: bus occupancy in processor cycles "
                 "(measured/paper)\n\n");
     std::printf("%-44s %10s %10s %10s\n", "operation", "cache bus",
@@ -152,5 +168,6 @@ main()
                 "processor after the\nmemory-bus phase (12 cycles); the "
                 "value shown for the I/O bus is the\nI/O-side occupancy "
                 "of the forwarded transaction.\n");
+    opts.emitReports();
     return 0;
 }

@@ -14,16 +14,24 @@
 #include <thread>
 
 #include "core/cq.hpp"
+#include "sim/cli.hpp"
+#include "sim/json.hpp"
 
 using namespace cni;
 
 int
 main(int argc, char **argv)
 {
+    const cli::Options opts =
+        cli::parse(argc, argv, "[items] [capacity]");
     const std::uint64_t items =
-        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2'000'000;
+        !opts.positional.empty()
+            ? std::strtoull(opts.positional[0].c_str(), nullptr, 10)
+            : 2'000'000;
     const std::size_t capacity =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1024;
+        opts.positional.size() > 1
+            ? std::strtoull(opts.positional[1].c_str(), nullptr, 10)
+            : 1024;
 
     cq::SpscCachableQueue<std::uint64_t> queue(capacity);
     std::printf("SPSC cachable queue: %llu items through %zu slots\n",
@@ -72,5 +80,16 @@ main(int argc, char **argv)
                 double(queue.shadowRefreshes()) /
                     (double(items) / queue.capacity()),
                 queue.capacity());
+
+    // Host benchmark: no simulated machine, so report its own numbers.
+    JsonWriter w;
+    w.beginObject();
+    w.key("items").value(items);
+    w.key("capacity").value(std::uint64_t(queue.capacity()));
+    w.key("throughput_items_per_sec").value(items / secs);
+    w.key("shadow_refreshes").value(queue.shadowRefreshes());
+    w.endObject();
+    report::add("cq_threads", w.str());
+    opts.emitReports();
     return 0;
 }

@@ -3,13 +3,14 @@
  * Compare every NI design at one message size — a one-screen view of the
  * paper's core result, using the microbenchmark API.
  *
- *   $ ./latency_sweep [message-bytes]
+ *   $ ./latency_sweep [message-bytes] [--ni MODEL]
  */
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "core/microbench.hpp"
+#include "sim/cli.hpp"
 #include "sim/logging.hpp"
 
 using namespace cni;
@@ -18,8 +19,11 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    const std::size_t bytes = argc > 1 ? std::strtoul(argv[1], nullptr, 10)
-                                       : 64;
+    const cli::Options opts = cli::parse(argc, argv, "[message-bytes]");
+    const std::size_t bytes =
+        !opts.positional.empty()
+            ? std::strtoul(opts.positional[0].c_str(), nullptr, 10)
+            : 64;
 
     std::printf("%zu-byte user message, round-trip latency and one-way "
                 "bandwidth\n\n",
@@ -29,28 +33,31 @@ main(int argc, char **argv)
 
     struct Case
     {
-        NiModel m;
+        const char *ni;
         NiPlacement p;
     };
     const Case cases[] = {
-        {NiModel::NI2w, NiPlacement::CacheBus},
-        {NiModel::NI2w, NiPlacement::MemoryBus},
-        {NiModel::CNI4, NiPlacement::MemoryBus},
-        {NiModel::CNI16Q, NiPlacement::MemoryBus},
-        {NiModel::CNI512Q, NiPlacement::MemoryBus},
-        {NiModel::CNI16Qm, NiPlacement::MemoryBus},
-        {NiModel::NI2w, NiPlacement::IoBus},
-        {NiModel::CNI4, NiPlacement::IoBus},
-        {NiModel::CNI16Q, NiPlacement::IoBus},
-        {NiModel::CNI512Q, NiPlacement::IoBus},
+        {"NI2w", NiPlacement::CacheBus},
+        {"NI2w", NiPlacement::MemoryBus},
+        {"CNI4", NiPlacement::MemoryBus},
+        {"CNI16Q", NiPlacement::MemoryBus},
+        {"CNI512Q", NiPlacement::MemoryBus},
+        {"CNI16Qm", NiPlacement::MemoryBus},
+        {"NI2w", NiPlacement::IoBus},
+        {"CNI4", NiPlacement::IoBus},
+        {"CNI16Q", NiPlacement::IoBus},
+        {"CNI512Q", NiPlacement::IoBus},
     };
     for (const auto &c : cases) {
-        SystemConfig cfg(c.m, c.p);
-        cfg.numNodes = 2;
-        const auto lat = roundTripLatency(cfg, bytes);
-        const auto bw = streamBandwidth(cfg, bytes);
-        std::printf("%-10s %-12s %10.2f %12.1f\n", toString(c.m),
-                    toString(c.p), lat.microseconds, bw.megabytesPerSec);
+        if (opts.ni && *opts.ni != c.ni)
+            continue;
+        const MachineSpec spec =
+            Machine::describe().nodes(2).ni(c.ni).placement(c.p).spec();
+        const auto lat = roundTripLatency(spec, bytes);
+        const auto bw = streamBandwidth(spec, bytes);
+        std::printf("%-10s %-12s %10.2f %12.1f\n", c.ni, toString(c.p),
+                    lat.microseconds, bw.megabytesPerSec);
     }
+    opts.emitReports();
     return 0;
 }

@@ -3,62 +3,38 @@
  * Run one of the paper's five macrobenchmarks on a chosen NI and print
  * execution time plus the interesting machine statistics.
  *
- *   $ ./macro_demo [app] [ni] [placement]
- *   $ ./macro_demo em3d CNI16Qm memory
+ *   $ ./macro_demo [app] [--ni MODEL] [--placement memory|io|cache]
+ *   $ ./macro_demo em3d --ni CNI16Qm --nodes 16 --seed 42
  */
 
 #include <cstdio>
-#include <cstring>
-#include <iostream>
+#include <string>
 
 #include "apps/apps.hpp"
+#include "sim/cli.hpp"
 #include "sim/logging.hpp"
 
 using namespace cni;
-
-namespace
-{
-
-NiModel
-parseNi(const char *s)
-{
-    for (NiModel m : kAllNiModels) {
-        if (std::strcmp(s, toString(m)) == 0)
-            return m;
-    }
-    cni_fatal("unknown NI '%s' (try NI2w, CNI4, CNI16Q, CNI512Q, CNI16Qm)",
-              s);
-}
-
-NiPlacement
-parsePlacement(const char *s)
-{
-    if (std::strcmp(s, "cache") == 0)
-        return NiPlacement::CacheBus;
-    if (std::strcmp(s, "io") == 0)
-        return NiPlacement::IoBus;
-    return NiPlacement::MemoryBus;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    const std::string app = argc > 1 ? argv[1] : "em3d";
-    const NiModel ni = argc > 2 ? parseNi(argv[2]) : NiModel::CNI16Qm;
-    const NiPlacement placement =
-        argc > 3 ? parsePlacement(argv[3]) : NiPlacement::MemoryBus;
+    const cli::Options opts = cli::parse(argc, argv, "[app]");
+    const std::string app =
+        !opts.positional.empty() ? opts.positional[0] : "em3d";
 
-    SystemConfig cfg(ni, placement);
+    MachineBuilder desc = Machine::describe().ni("CNI16Qm");
+    opts.apply(desc);
+
     std::string why;
-    if (!cfg.valid(&why))
+    if (!desc.valid(&why))
         cni_fatal("%s", why.c_str());
+    const MachineSpec spec = desc.spec();
 
-    std::printf("running %s on a 16-node machine with %s...\n",
-                app.c_str(), cfg.label().c_str());
-    const AppResult r = runMacrobenchmark(app, cfg);
+    std::printf("running %s on a %d-node machine with %s...\n",
+                app.c_str(), spec.numNodes, spec.label().c_str());
+    const AppResult r = runMacrobenchmark(app, spec, opts.seedOr(0));
 
     std::printf("\nexecution time : %.2f ms simulated "
                 "(%llu cycles at 200 MHz)\n",
@@ -69,8 +45,10 @@ main(int argc, char **argv)
     std::printf("mem-bus busy   : %llu cycles across all nodes "
                 "(%.1f%% of wallclock x nodes)\n",
                 static_cast<unsigned long long>(r.memBusOccupied),
-                100.0 * double(r.memBusOccupied) / (16.0 * r.ticks));
+                100.0 * double(r.memBusOccupied) /
+                    (double(spec.numNodes) * r.ticks));
     std::printf("app checksum   : %llu\n",
                 static_cast<unsigned long long>(r.checksum));
+    opts.emitReports();
     return 0;
 }

@@ -1,63 +1,75 @@
 /**
  * @file
- * Quickstart: build a two-node machine with a coherent network interface,
- * send an active message, and get a reply — the smallest complete use of
- * the library.
+ * Quickstart: describe a two-node machine, exchange typed messages
+ * through the Endpoint facade, and dump the JSON report — the smallest
+ * complete use of the library.
  *
- *   $ ./quickstart
+ *   $ ./quickstart [--ni CNI4] [--nodes 2] [--json -]
  */
 
+#include <cctype>
 #include <cstdio>
 #include <string>
+#include <vector>
 
-#include "core/system.hpp"
+#include "core/machine.hpp"
+#include "sim/cli.hpp"
+#include "sim/logging.hpp"
 
 using namespace cni;
 
 int
-main()
+main(int argc, char **argv)
 {
-    // 1. Configure the machine: two nodes, CNI16Qm devices on the
-    //    coherent memory bus (the paper's best memory-bus design).
-    SystemConfig cfg(NiModel::CNI16Qm, NiPlacement::MemoryBus);
-    cfg.numNodes = 2;
-    System sys(cfg);
+    const cli::Options opts = cli::parse(argc, argv);
 
-    // 2. Register active-message handlers. Handlers are coroutines and
-    //    may themselves send messages.
-    bool gotReply = false;
-    sys.msg(1).registerHandler(1, [&](const UserMsg &u) -> CoTask<void> {
-        std::printf("node 1: received \"%s\" from node %d\n",
-                    std::string(u.payload.begin(), u.payload.end()).c_str(),
-                    u.src);
-        const char reply[] = "pong";
-        co_await sys.msg(1).send(u.src, 2, reply, sizeof(reply) - 1);
-    });
-    sys.msg(0).registerHandler(2, [&](const UserMsg &u) -> CoTask<void> {
-        std::printf("node 0: received \"%s\" after %.2f us\n",
-                    std::string(u.payload.begin(), u.payload.end()).c_str(),
-                    sys.eq().now() / kCyclesPerMicrosecond);
-        gotReply = true;
-        co_return;
+    // 1. Describe the machine: two nodes, CNI16Qm devices on the
+    //    coherent memory bus (the paper's best memory-bus design). Any
+    //    registered NI model name works; --ni overrides it.
+    MachineBuilder desc = Machine::describe().nodes(2).ni("CNI16Qm");
+    opts.apply(desc);
+    if (desc.spec().numNodes < 2)
+        cni_fatal("quickstart needs at least two nodes");
+    Machine m = desc.build();
+
+    // 2. Talk through endpoints. Node 1 serves an RPC: it answers each
+    //    request with an upper-cased copy of the payload.
+    m.endpoint(1).serve(1, [](const UserMsg &u)
+                               -> CoTask<std::vector<std::uint8_t>> {
+        std::vector<std::uint8_t> reply = u.payload;
+        for (auto &c : reply)
+            c = static_cast<std::uint8_t>(std::toupper(c));
+        co_return reply;
     });
 
     // 3. Spawn one program per node. Programs are coroutines that send,
     //    poll, and compute against the simulated processor.
-    sys.spawn(0, [](System &sys, bool &gotReply) -> CoTask<void> {
+    bool done = false;
+    m.spawn(0, [](Machine &m, bool &done) -> CoTask<void> {
         const char ping[] = "ping";
-        co_await sys.msg(0).send(1, 1, ping, sizeof(ping) - 1);
-        co_await sys.msg(0).pollUntil([&] { return gotReply; });
-    }(sys, gotReply));
-    sys.spawn(1, [](System &sys, bool &gotReply) -> CoTask<void> {
-        co_await sys.msg(1).pollUntil([&] { return gotReply; });
-    }(sys, gotReply));
+        UserMsg reply =
+            co_await m.endpoint(0).rpc(1, 1, ping, sizeof(ping) - 1);
+        std::printf("node 0: rpc reply \"%s\" after %.2f us\n",
+                    std::string(reply.payload.begin(),
+                                reply.payload.end())
+                        .c_str(),
+                    m.eq().now() / kCyclesPerMicrosecond);
+        done = true;
+    }(m, done));
+    m.spawn(1, [](Machine &m, bool &done) -> CoTask<void> {
+        co_await m.endpoint(1).pollUntil([&] { return done; });
+    }(m, done));
 
     // 4. Run to completion and inspect the machine.
-    const Tick end = sys.run();
+    const Tick end = m.run();
     std::printf("simulation finished at cycle %llu (%.2f us); "
                 "memory-bus occupancy %llu cycles\n",
                 static_cast<unsigned long long>(end),
                 end / kCyclesPerMicrosecond,
-                static_cast<unsigned long long>(sys.memBusOccupiedCycles()));
+                static_cast<unsigned long long>(m.memBusOccupiedCycles()));
+
+    // 5. One JSON document carries the whole configuration + statistics.
+    report::add("quickstart", m.report());
+    opts.emitReports();
     return 0;
 }

@@ -1,6 +1,7 @@
 #include "apps/apps.hpp"
 
 #include "sim/logging.hpp"
+#include "sim/report.hpp"
 
 namespace cni
 {
@@ -15,19 +16,33 @@ macrobenchmarkNames()
 }
 
 AppResult
-runMacrobenchmark(const std::string &name, const SystemConfig &cfg)
+runMacrobenchmark(const std::string &name, const MachineSpec &spec,
+                  std::uint64_t seed)
 {
-    System sys(cfg);
-    if (name == "spsolve")
-        return runSpsolve(sys);
+    Machine sys(spec);
+    auto finish = [&](AppResult r) {
+        if (report::enabled())
+            report::add(name + " " + spec.label(), sys.report());
+        return r;
+    };
+    if (name == "spsolve") {
+        SpsolveParams p;
+        if (seed)
+            p.seed = seed;
+        return finish(runSpsolve(sys, p));
+    }
     if (name == "gauss")
-        return runGauss(sys);
-    if (name == "em3d")
-        return runEm3d(sys);
+        return finish(runGauss(sys));
+    if (name == "em3d") {
+        Em3dParams p;
+        if (seed)
+            p.seed = seed;
+        return finish(runEm3d(sys, p));
+    }
     if (name == "moldyn")
-        return runMoldyn(sys);
+        return finish(runMoldyn(sys));
     if (name == "appbt")
-        return runAppbt(sys);
+        return finish(runAppbt(sys));
     cni_fatal("unknown macrobenchmark '%s'", name.c_str());
 }
 

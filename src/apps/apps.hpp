@@ -15,9 +15,14 @@
 namespace cni
 {
 
-/** Run macrobenchmark `name` on a fresh system built from `cfg`. */
+/**
+ * Run macrobenchmark `name` on a fresh machine built from `spec`.
+ * `seed` != 0 overrides the workload-synthesis seed of the randomized
+ * apps (em3d, spsolve); 0 keeps each app's paper-calibrated default.
+ */
 AppResult runMacrobenchmark(const std::string &name,
-                            const SystemConfig &cfg);
+                            const MachineSpec &spec,
+                            std::uint64_t seed = 0);
 
 /** The five macrobenchmark names, in the paper's order. */
 const std::vector<std::string> &macrobenchmarkNames();

@@ -1,0 +1,323 @@
+#include "core/machine.hpp"
+
+#include <set>
+
+#include "ni/registry.hpp"
+#include "sim/json.hpp"
+#include "sim/logging.hpp"
+
+namespace cni
+{
+
+NodeSpec
+MachineSpec::node(NodeId id) const
+{
+    NodeSpec resolved = defaults;
+    auto it = overrides.find(id);
+    if (it != overrides.end()) {
+        const NodeOverride &o = it->second;
+        if (o.ni)
+            resolved.ni = *o.ni;
+        if (o.contexts)
+            resolved.contexts = *o.contexts;
+        if (o.cniq)
+            resolved.cniq = *o.cniq;
+    }
+    return resolved;
+}
+
+bool
+MachineSpec::heterogeneous() const
+{
+    for (const auto &[id, o] : overrides) {
+        if (o.ni && *o.ni != defaults.ni)
+            return true;
+    }
+    return false;
+}
+
+std::string
+MachineSpec::label() const
+{
+    std::string s;
+    if (heterogeneous()) {
+        // List the distinct models in node order, e.g. "CNI16Qm+CNI4".
+        std::set<std::string> seen;
+        for (NodeId id = 0; id < numNodes; ++id) {
+            const std::string m = node(id).ni;
+            if (seen.insert(m).second) {
+                if (!s.empty())
+                    s += "+";
+                s += m;
+            }
+        }
+    } else {
+        s = defaults.ni;
+    }
+    s += "/";
+    s += toString(placement);
+    if (snarfing)
+        s += "+snarf";
+    return s;
+}
+
+bool
+MachineSpec::valid(std::string *why) const
+{
+    auto fail = [why](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+
+    if (numNodes < 1)
+        return fail("a machine needs at least one node");
+    if (!overrides.empty()) {
+        const NodeId lo = overrides.begin()->first;
+        const NodeId hi = overrides.rbegin()->first;
+        const NodeId bad = lo < 0 ? lo : hi;
+        if (lo < 0 || hi >= numNodes) {
+            return fail("per-node override targets node " +
+                        std::to_string(bad) + " but the machine has " +
+                        std::to_string(numNodes) + " nodes");
+        }
+    }
+
+    const NiRegistry &reg = NiRegistry::instance();
+    for (NodeId id = 0; id < numNodes; ++id) {
+        const NodeSpec ns = node(id);
+        const std::string at = " (node " + std::to_string(id) + ")";
+        const NiTraits *t = reg.traits(ns.ni);
+        if (!t) {
+            return fail("unknown NI model '" + ns.ni +
+                        "' (registered models: " + reg.namesCsv() + ")" +
+                        at);
+        }
+        if (ns.cniq && !t->queueBased) {
+            return fail("a cniq() override requires a CNIiQ-family "
+                        "model: " +
+                        ns.ni + " would silently ignore it" + at);
+        }
+        // A CNIiQ override can re-home the receive queue, so validate
+        // the effective device, not just the model name's static trait.
+        NiTraits eff = *t;
+        if (ns.cniq && t->queueBased)
+            eff.memoryHomedRecv = ns.cniq->recvHomeMemory;
+        if (placement == NiPlacement::CacheBus && t->coherent) {
+            return fail("coherence is not an option on cache buses "
+                        "(Section 5): place " +
+                        ns.ni + " on the memory or I/O bus" + at);
+        }
+        if (placement == NiPlacement::IoBus && eff.memoryHomedRecv) {
+            return fail("an I/O device cannot coherently cache processor "
+                        "memory across a coherent I/O bus (Section 2.3): "
+                        "use " +
+                        ns.ni + " on the memory bus" + at);
+        }
+        if (snarfing && !eff.memoryHomedRecv) {
+            return fail("snarfing targets memory-homed receive-queue "
+                        "writebacks (Section 5.1.2): " +
+                        ns.ni + " has none" + at);
+        }
+        if (ns.contexts < 1)
+            return fail("each node needs at least one context" + at);
+        if (ns.contexts > 1 && !t->queueBased) {
+            return fail("multiple contexts require the CNIiQ family's "
+                        "per-context queues: " +
+                        ns.ni + " exposes a single hardware FIFO" + at);
+        }
+    }
+    return true;
+}
+
+MachineBuilder &
+MachineBuilder::placement(const std::string &name)
+{
+    if (name == "memory" || name == "memory-bus" || name == "mem")
+        spec_.placement = NiPlacement::MemoryBus;
+    else if (name == "io" || name == "io-bus")
+        spec_.placement = NiPlacement::IoBus;
+    else if (name == "cache" || name == "cache-bus")
+        spec_.placement = NiPlacement::CacheBus;
+    else
+        cni_fatal("unknown NI placement '%s' (try memory, io, cache)",
+                  name.c_str());
+    return *this;
+}
+
+Machine
+MachineBuilder::build() const
+{
+    return Machine(spec_);
+}
+
+Machine::Machine(MachineSpec spec) : spec_(std::move(spec))
+{
+    std::string why;
+    if (!spec_.valid(&why))
+        cni_fatal("invalid machine description %s: %s",
+                  spec_.label().c_str(), why.c_str());
+
+    net_ = std::make_unique<Network>(eq_, spec_.numNodes);
+    group_ = std::make_unique<TaskGroup>(eq_);
+
+    for (NodeId id = 0; id < spec_.numNodes; ++id) {
+        const NodeSpec ns = spec_.node(id);
+        auto node = std::make_unique<Node>();
+        const std::string name = "node" + std::to_string(id);
+        node->mem = std::make_unique<NodeMemory>();
+        node->fabric =
+            std::make_unique<NodeFabric>(eq_, name, spec_.placement);
+        node->mainMem = std::make_unique<MainMemory>(name + ".memory");
+        node->fabric->membus().attach(node->mainMem.get());
+        node->proc = std::make_unique<Proc>(eq_, id, *node->fabric,
+                                            *node->mem, name + ".proc");
+        if (spec_.snarfing)
+            node->proc->cache().setSnarfing(true);
+
+        NiBuildContext ctx{eq_,
+                           id,
+                           *node->fabric,
+                           *net_,
+                           *node->mem,
+                           name + "." + ns.ni,
+                           ns.contexts,
+                           ns.cniq ? &*ns.cniq : nullptr};
+        node->ni = NiRegistry::instance().make(ns.ni, ctx);
+        node->ni->attachToBus();
+
+        for (int c = 0; c < ns.contexts; ++c) {
+            node->msg.push_back(
+                std::make_unique<MsgLayer>(*node->proc, *node->ni, c));
+            node->endpoints.push_back(
+                std::make_unique<Endpoint>(*node->msg.back()));
+        }
+        nodes_.push_back(std::move(node));
+    }
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::spawn(NodeId n, CoTask<void> task)
+{
+    cni_assert(n >= 0 && n < spec_.numNodes);
+    group_->spawn(std::move(task));
+}
+
+Tick
+Machine::run()
+{
+    bool ok = eq_.runUntilDone([this] { return group_->done(); });
+    if (!ok) {
+        cni_fatal("workload deadlocked: %d task(s) never finished (%s)",
+                  group_->live(), spec_.label().c_str());
+    }
+    return eq_.now();
+}
+
+Tick
+Machine::runUntil(Tick limit)
+{
+    while (eq_.now() < limit && !group_->done()) {
+        if (!eq_.step())
+            break;
+    }
+    return eq_.now();
+}
+
+Tick
+Machine::memBusOccupiedCycles() const
+{
+    Tick total = 0;
+    for (const auto &n : nodes_)
+        total += n->fabric->membus().occupiedCycles();
+    return total;
+}
+
+StatSet
+Machine::aggregateStats() const
+{
+    StatSet agg("machine");
+    for (const auto &n : nodes_) {
+        agg.merge(n->fabric->membus().stats());
+        if (n->fabric->iobus())
+            agg.merge(n->fabric->iobus()->stats());
+        agg.merge(n->fabric->stats());
+        agg.merge(n->proc->cache().stats());
+        agg.merge(n->proc->stats());
+        agg.merge(n->ni->stats());
+        for (const auto &m : n->msg)
+            agg.merge(m->stats());
+    }
+    agg.merge(net_->stats());
+    return agg;
+}
+
+std::string
+Machine::report() const
+{
+    JsonWriter w;
+    w.beginObject();
+
+    w.key("config").beginObject();
+    w.key("label").value(spec_.label());
+    w.key("nodes").value(spec_.numNodes);
+    w.key("placement").value(toString(spec_.placement));
+    w.key("snarfing").value(spec_.snarfing);
+    w.key("heterogeneous").value(spec_.heterogeneous());
+    w.key("node_models").beginArray();
+    for (NodeId id = 0; id < spec_.numNodes; ++id) {
+        const NodeSpec ns = spec_.node(id);
+        w.beginObject();
+        w.key("id").value(id);
+        w.key("ni").value(ns.ni);
+        w.key("contexts").value(ns.contexts);
+        if (ns.cniq) {
+            w.key("cniq").beginObject();
+            w.key("send_queue_blocks").value(ns.cniq->sendQueueBlocks);
+            w.key("recv_queue_blocks").value(ns.cniq->recvQueueBlocks);
+            w.key("recv_cache_blocks").value(ns.cniq->recvCacheBlocks);
+            w.key("recv_home_memory").value(ns.cniq->recvHomeMemory);
+            w.key("lazy_send_head").value(ns.cniq->lazySendHead);
+            w.key("msg_valid_bits").value(ns.cniq->msgValidBits);
+            w.key("sense_reverse").value(ns.cniq->senseReverse);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject(); // config
+
+    w.key("runtime").beginObject();
+    w.key("now_cycles").value(std::uint64_t(eq_.now()));
+    w.key("now_us").value(eq_.now() / kCyclesPerMicrosecond);
+    w.key("membus_occupied_cycles")
+        .value(std::uint64_t(memBusOccupiedCycles()));
+    w.key("workload_done").value(workloadDone());
+    w.endObject();
+
+    const StatSet agg = aggregateStats();
+    w.key("stats").beginObject();
+    w.key("counters").beginObject();
+    for (const auto &[k, v] : agg.counters())
+        w.key(k).value(v);
+    w.endObject();
+    w.key("scalars").beginObject();
+    for (const auto &[k, s] : agg.scalars()) {
+        w.key(k).beginObject();
+        w.key("count").value(s.count());
+        w.key("sum").value(s.sum());
+        w.key("mean").value(s.mean());
+        w.key("min").value(s.min());
+        w.key("max").value(s.max());
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject(); // stats
+
+    w.endObject();
+    return w.str();
+}
+
+} // namespace cni

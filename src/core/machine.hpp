@@ -1,0 +1,295 @@
+/**
+ * @file
+ * The simulated parallel machine (Section 4.1) and its declarative
+ * description API. A machine is N nodes — each a 200 MHz dual-issue
+ * processor with a 256 KB direct-mapped cache, a 100 MHz coherent memory
+ * bus (plus optional coherent I/O bus behind a bridge, or a
+ * processor-local cache bus), one network-interface device chosen by
+ * name from the NiRegistry, and a shared network fabric.
+ *
+ * This is the primary entry point of the library:
+ *
+ *   Machine m = Machine::describe()
+ *                   .nodes(2)
+ *                   .ni("CNI16Qm")
+ *                   .placement(NiPlacement::MemoryBus)
+ *                   .build();
+ *   m.spawn(0, pingProgram(m.endpoint(0)));
+ *   m.spawn(1, pongProgram(m.endpoint(1)));
+ *   Tick t = m.run();
+ *   std::string json = m.report(); // config + stats, one document
+ *
+ * Per-node overrides make heterogeneous machines one-liners:
+ *
+ *   Machine::describe().nodes(4).ni("CNI16Qm").nodeNi(3, "CNI4").build();
+ */
+
+#ifndef CNI_CORE_MACHINE_HPP
+#define CNI_CORE_MACHINE_HPP
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bus/fabric.hpp"
+#include "core/taxonomy.hpp"
+#include "mem/main_memory.hpp"
+#include "mem/node_memory.hpp"
+#include "msg/endpoint.hpp"
+#include "msg/msg_layer.hpp"
+#include "net/network.hpp"
+#include "ni/cniq.hpp"
+#include "ni/net_iface.hpp"
+#include "proc/proc.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/task.hpp"
+
+namespace cni
+{
+
+class Machine;
+class MachineBuilder;
+
+/** Fully resolved description of one node. */
+struct NodeSpec
+{
+    std::string ni = "CNI16Qm"; //!< NiRegistry model name
+    int contexts = 1;           //!< user processes sharing the device
+    std::optional<CniqConfig> cniq; //!< CNIiQ ablation override
+};
+
+/** Sparse per-node override; unset fields fall back to the defaults. */
+struct NodeOverride
+{
+    std::optional<std::string> ni;
+    std::optional<int> contexts;
+    std::optional<CniqConfig> cniq;
+};
+
+/**
+ * A complete, validated-on-build machine description. Plain data:
+ * copyable, comparable by field, safe to extend (no hand-rolled copy
+ * constructor to forget fields in).
+ */
+struct MachineSpec
+{
+    int numNodes = 16;
+    NiPlacement placement = NiPlacement::MemoryBus;
+    bool snarfing = false; //!< processor caches snarf writebacks (Qm)
+    NodeSpec defaults;
+    std::map<NodeId, NodeOverride> overrides;
+
+    /** The resolved description of node `id`. */
+    NodeSpec node(NodeId id) const;
+
+    bool heterogeneous() const;
+
+    /** Human-readable label, e.g. "CNI16Qm/memory-bus+snarf". */
+    std::string label() const;
+
+    /**
+     * Is this description implementable (Section 5)? Checks every node's
+     * model against the registry traits; on failure `why` explains what
+     * to change.
+     */
+    bool valid(std::string *why = nullptr) const;
+};
+
+/**
+ * Fluent builder over MachineSpec. All setters return *this; build()
+ * validates and constructs the machine (fatal, with an actionable
+ * message, on an invalid combination).
+ */
+class MachineBuilder
+{
+  public:
+    MachineBuilder &
+    nodes(int n)
+    {
+        spec_.numNodes = n;
+        return *this;
+    }
+
+    /** Default NI model for every node, by registry name. */
+    MachineBuilder &
+    ni(const std::string &model)
+    {
+        spec_.defaults.ni = model;
+        return *this;
+    }
+
+    MachineBuilder &
+    placement(NiPlacement p)
+    {
+        spec_.placement = p;
+        return *this;
+    }
+
+    /** Placement by name: "memory"/"memory-bus", "io", "cache". */
+    MachineBuilder &placement(const std::string &name);
+
+    /** Default user processes per node (CNIiQ family only). */
+    MachineBuilder &
+    contexts(int n)
+    {
+        spec_.defaults.contexts = n;
+        return *this;
+    }
+
+    MachineBuilder &
+    snarfing(bool on = true)
+    {
+        spec_.snarfing = on;
+        return *this;
+    }
+
+    /** Override the CNIiQ device configuration (ablation studies). */
+    MachineBuilder &
+    cniq(const CniqConfig &c)
+    {
+        spec_.defaults.cniq = c;
+        return *this;
+    }
+
+    // Per-node overrides (heterogeneous machines) ---------------------------
+
+    MachineBuilder &
+    nodeNi(NodeId id, const std::string &model)
+    {
+        spec_.overrides[id].ni = model;
+        return *this;
+    }
+
+    MachineBuilder &
+    nodeContexts(NodeId id, int n)
+    {
+        spec_.overrides[id].contexts = n;
+        return *this;
+    }
+
+    MachineBuilder &
+    nodeCniq(NodeId id, const CniqConfig &c)
+    {
+        spec_.overrides[id].cniq = c;
+        return *this;
+    }
+
+    // Terminal operations ---------------------------------------------------
+
+    bool
+    valid(std::string *why = nullptr) const
+    {
+        return spec_.valid(why);
+    }
+
+    const MachineSpec &spec() const { return spec_; }
+
+    /** Validate and construct. Fatal on an invalid description. */
+    Machine build() const;
+
+  private:
+    MachineSpec spec_;
+};
+
+class Machine
+{
+  public:
+    /** Start a fluent machine description. */
+    static MachineBuilder describe() { return MachineBuilder{}; }
+
+    explicit Machine(MachineSpec spec);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    int numNodes() const { return spec_.numNodes; }
+    const MachineSpec &spec() const { return spec_; }
+
+    EventQueue &eq() { return eq_; }
+    Network &net() { return *net_; }
+    Proc &proc(NodeId n) { return *node(n).proc; }
+    NetIface &ni(NodeId n) { return *node(n).ni; }
+    NodeMemory &mem(NodeId n) { return *node(n).mem; }
+    NodeFabric &fabric(NodeId n) { return *node(n).fabric; }
+
+    /**
+     * The messaging facade for context `ctx` of node `n` — typed
+     * send/recv/rpc without handler-id plumbing. Preferred over msg().
+     */
+    Endpoint &
+    endpoint(NodeId n, int ctx = 0)
+    {
+        auto &eps = node(n).endpoints;
+        cni_assert(ctx >= 0 && ctx < int(eps.size()));
+        return *eps[ctx];
+    }
+
+    /** The raw active-message layer (low-level; prefer endpoint()). */
+    MsgLayer &
+    msg(NodeId n, int ctx = 0)
+    {
+        auto &layers = node(n).msg;
+        cni_assert(ctx >= 0 && ctx < int(layers.size()));
+        return *layers[ctx];
+    }
+
+    /** Start a workload coroutine (counted toward completion). */
+    void spawn(NodeId n, CoTask<void> task);
+
+    /**
+     * Run until every spawned workload task finishes. Returns the final
+     * simulated tick. Fails (fatal) if the event queue drains first —
+     * that means the workload deadlocked.
+     */
+    Tick run();
+
+    /** Run at most `limit` ticks (for watchdog-style tests). */
+    Tick runUntil(Tick limit);
+
+    bool workloadDone() const { return group_->done(); }
+
+    /** Sum of memory-bus occupied cycles across all nodes (Section 5.2). */
+    Tick memBusOccupiedCycles() const;
+
+    /** Aggregate statistics over every component in the machine. */
+    StatSet aggregateStats() const;
+
+    /**
+     * One JSON document with the full configuration, runtime state, and
+     * aggregate statistics — the single source for benchmark harnesses,
+     * so they never re-implement aggregation.
+     */
+    std::string report() const;
+
+  private:
+    struct Node
+    {
+        std::unique_ptr<NodeMemory> mem;
+        std::unique_ptr<NodeFabric> fabric;
+        std::unique_ptr<MainMemory> mainMem;
+        std::unique_ptr<Proc> proc;
+        std::unique_ptr<NetIface> ni;
+        std::vector<std::unique_ptr<MsgLayer>> msg;
+        std::vector<std::unique_ptr<Endpoint>> endpoints;
+    };
+
+    Node &
+    node(NodeId n)
+    {
+        cni_assert(n >= 0 && n < int(nodes_.size()));
+        return *nodes_[n];
+    }
+
+    MachineSpec spec_;
+    EventQueue eq_;
+    std::unique_ptr<Network> net_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::unique_ptr<TaskGroup> group_;
+};
+
+} // namespace cni
+
+#endif // CNI_CORE_MACHINE_HPP

@@ -3,66 +3,88 @@
 #include <numeric>
 #include <vector>
 
+#include "ni/registry.hpp"
 #include "sim/logging.hpp"
+#include "sim/report.hpp"
 
 namespace cni
 {
 
 namespace
 {
-constexpr std::uint32_t kPingHandler = 100;
-constexpr std::uint32_t kPongHandler = 101;
-constexpr std::uint32_t kStreamHandler = 102;
+constexpr Port kPingPort = 100;
+constexpr Port kPongPort = 101;
+constexpr Port kStreamPort = 102;
+
+/** Does either measurement endpoint use a cachable-queue design? */
+bool
+usesCachableQueues(const MachineSpec &spec)
+{
+    for (NodeId n : {NodeId(0), NodeId(1)}) {
+        const NiTraits *t = NiRegistry::instance().traits(spec.node(n).ni);
+        if (t && t->queueBased)
+            return true;
+    }
+    return false;
+}
+
+void
+addRunReport(const char *bench, const Machine &m, std::size_t msgBytes)
+{
+    if (!report::enabled())
+        return;
+    report::add(std::string(bench) + " " + m.spec().label() + " " +
+                    std::to_string(msgBytes) + "B",
+                m.report());
+}
+
 } // namespace
 
 LatencyResult
-roundTripLatency(const SystemConfig &cfg, std::size_t msgBytes, int rounds,
+roundTripLatency(const MachineSpec &spec, std::size_t msgBytes, int rounds,
                  int warmup)
 {
     // Steady state requires wrapping the largest cachable queue at least
     // once so slot writes become address-only upgrades, not cold misses.
-    if (isQueueBased(cfg.ni))
+    if (usesCachableQueues(spec))
         warmup = std::max(warmup, 512 / kBlocksPerSlot + 8);
-    System sys(cfg);
-    auto &m0 = sys.msg(0);
-    auto &m1 = sys.msg(1);
+    Machine sys(spec);
+    Endpoint &e0 = sys.endpoint(0);
+    Endpoint &e1 = sys.endpoint(1);
 
     int pongs = 0;
     std::vector<std::uint8_t> payload(msgBytes, 0xab);
 
     // Echo server on node 1.
-    m1.registerHandler(kPingHandler, [&](const UserMsg &u) -> CoTask<void> {
-        co_await m1.send(0, kPongHandler, u.payload.data(),
-                         u.payload.size());
+    e1.onMessage(kPingPort, [&](const UserMsg &u) -> CoTask<void> {
+        co_await e1.send(0, kPongPort, u.payload.data(), u.payload.size());
     });
-    m0.registerHandler(kPongHandler, [&](const UserMsg &) -> CoTask<void> {
+    e0.onMessage(kPongPort, [&](const UserMsg &) -> CoTask<void> {
         ++pongs;
         co_return;
     });
 
     std::vector<Tick> samples;
-    sys.spawn(0, [](System &sys, MsgLayer &m0,
+    sys.spawn(0, [](Machine &sys, Endpoint &e0,
                     std::vector<std::uint8_t> &payload, int rounds,
                     int warmup, int &pongs,
                     std::vector<Tick> &samples) -> CoTask<void> {
         for (int r = 0; r < warmup + rounds; ++r) {
             const Tick start = sys.eq().now();
-            co_await m0.send(1, kPingHandler, payload.data(),
-                             payload.size());
+            co_await e0.send(1, kPingPort, payload.data(), payload.size());
             const int want = r + 1;
-            co_await m0.pollUntil([&] { return pongs >= want; });
+            co_await e0.pollUntil([&] { return pongs >= want; });
             if (r >= warmup)
                 samples.push_back(sys.eq().now() - start);
         }
-    }(sys, m0, payload, rounds, warmup, pongs, samples));
+    }(sys, e0, payload, rounds, warmup, pongs, samples));
 
-    sys.spawn(1, [](MsgLayer &m1, int total, int *seen) -> CoTask<void> {
-        co_await m1.pollUntil([=] { return *seen >= total; });
-    }(m1, warmup + rounds, &pongs));
+    sys.spawn(1, [](Endpoint &e1, int total, int *seen) -> CoTask<void> {
+        co_await e1.pollUntil([=] { return *seen >= total; });
+    }(e1, warmup + rounds, &pongs));
 
-    // Node 1's termination condition is pongs (node-0 state); give it its
-    // own counter instead: track pings seen on node 1.
     sys.run();
+    addRunReport("roundTripLatency", sys, msgBytes);
 
     cni_assert(!samples.empty());
     const double mean =
@@ -75,51 +97,51 @@ roundTripLatency(const SystemConfig &cfg, std::size_t msgBytes, int rounds,
 }
 
 BandwidthResult
-streamBandwidth(const SystemConfig &cfg, std::size_t msgBytes, int messages,
+streamBandwidth(const MachineSpec &spec, std::size_t msgBytes, int messages,
                 int warmup)
 {
     // Steady state requires wrapping the largest cachable queue (128
     // slots) before the timed window starts, so slot writes are upgrades
     // rather than cold misses.
-    if (isQueueBased(cfg.ni)) {
+    if (usesCachableQueues(spec)) {
         const int fragsPer = static_cast<int>(std::max<std::size_t>(
             1, (msgBytes + kNetworkPayloadBytes - 1) / kNetworkPayloadBytes));
         warmup = std::max(warmup, (160 + fragsPer - 1) / fragsPer);
         messages = std::max(messages, warmup * 3);
     }
-    System sys(cfg);
-    auto &m0 = sys.msg(0);
-    auto &m1 = sys.msg(1);
+    Machine sys(spec);
+    Endpoint &e0 = sys.endpoint(0);
+    Endpoint &e1 = sys.endpoint(1);
 
     int received = 0;
     Tick warmTick = 0;
     Tick endTick = 0;
 
-    m1.registerHandler(kStreamHandler,
-                       [&](const UserMsg &) -> CoTask<void> {
-                           ++received;
-                           if (received == warmup)
-                               warmTick = sys.eq().now();
-                           if (received == messages)
-                               endTick = sys.eq().now();
-                           co_return;
-                       });
+    e1.onMessage(kStreamPort, [&](const UserMsg &) -> CoTask<void> {
+        ++received;
+        if (received == warmup)
+            warmTick = sys.eq().now();
+        if (received == messages)
+            endTick = sys.eq().now();
+        co_return;
+    });
 
     std::vector<std::uint8_t> payload(msgBytes, 0x5c);
-    sys.spawn(0, [](MsgLayer &m0, std::vector<std::uint8_t> &payload,
+    sys.spawn(0, [](Endpoint &e0, std::vector<std::uint8_t> &payload,
                     int messages) -> CoTask<void> {
         for (int i = 0; i < messages; ++i) {
-            co_await m0.send(1, kStreamHandler, payload.data(),
+            co_await e0.send(1, kStreamPort, payload.data(),
                              payload.size());
         }
-    }(m0, payload, messages));
+    }(e0, payload, messages));
 
-    sys.spawn(1, [](MsgLayer &m1, int messages, int *received)
+    sys.spawn(1, [](Endpoint &e1, int messages, int *received)
                   -> CoTask<void> {
-        co_await m1.pollUntil([=] { return *received >= messages; });
-    }(m1, messages, &received));
+        co_await e1.pollUntil([=] { return *received >= messages; });
+    }(e1, messages, &received));
 
     sys.run();
+    addRunReport("streamBandwidth", sys, msgBytes);
     cni_assert(endTick > warmTick);
 
     const double bytes =

@@ -17,7 +17,7 @@
 
 #include <cstddef>
 
-#include "core/system.hpp"
+#include "core/machine.hpp"
 
 namespace cni
 {
@@ -39,10 +39,10 @@ struct LatencyResult
 
 /**
  * Measure mean round-trip latency for `msgBytes`-byte user messages
- * between nodes 0 and 1 of a machine built from `cfg`. `rounds` round
+ * between nodes 0 and 1 of a machine built from `spec`. `rounds` round
  * trips are timed after `warmup` untimed ones.
  */
-LatencyResult roundTripLatency(const SystemConfig &cfg,
+LatencyResult roundTripLatency(const MachineSpec &spec,
                                std::size_t msgBytes, int rounds = 16,
                                int warmup = 4);
 
@@ -57,7 +57,7 @@ struct BandwidthResult
  * messages streamed from node 0 to node 1. `messages` are sent; the
  * first `warmup` are excluded from the timed window.
  */
-BandwidthResult streamBandwidth(const SystemConfig &cfg,
+BandwidthResult streamBandwidth(const MachineSpec &spec,
                                 std::size_t msgBytes, int messages = 64,
                                 int warmup = 8);
 

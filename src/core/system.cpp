@@ -1,172 +1,19 @@
 #include "core/system.hpp"
 
-#include "ni/cni4.hpp"
-#include "ni/ni2w.hpp"
-#include "sim/logging.hpp"
-
 namespace cni
 {
 
-std::string
-SystemConfig::label() const
+MachineSpec
+SystemConfig::spec() const
 {
-    std::string s = toString(ni);
-    s += "/";
-    s += toString(placement);
-    if (snarfing)
-        s += "+snarf";
+    MachineSpec s;
+    s.numNodes = numNodes;
+    s.placement = placement;
+    s.snarfing = snarfing;
+    s.defaults.ni = toString(ni);
+    s.defaults.contexts = numContexts;
+    s.defaults.cniq = cniqOverride;
     return s;
-}
-
-bool
-SystemConfig::valid(std::string *why) const
-{
-    if (placement == NiPlacement::CacheBus && ni != NiModel::NI2w) {
-        if (why)
-            *why = "coherence is not an option on cache buses (Section 5)";
-        return false;
-    }
-    if (placement == NiPlacement::IoBus && ni == NiModel::CNI16Qm) {
-        if (why) {
-            *why = "an I/O device cannot coherently cache processor "
-                   "memory across a coherent I/O bus (Section 2.3)";
-        }
-        return false;
-    }
-    if (snarfing && ni != NiModel::CNI16Qm) {
-        if (why)
-            *why = "snarfing targets CNI16Qm writebacks (Section 5.1.2)";
-        return false;
-    }
-    if (numContexts > 1 && !isQueueBased(ni)) {
-        if (why)
-            *why = "multiple contexts require the CNIiQ family";
-        return false;
-    }
-    return true;
-}
-
-System::System(SystemConfig cfg) : cfg_(std::move(cfg))
-{
-    std::string why;
-    if (!cfg_.valid(&why))
-        cni_fatal("invalid system configuration %s: %s",
-                  cfg_.label().c_str(), why.c_str());
-
-    net_ = std::make_unique<Network>(eq_, cfg_.numNodes);
-    group_ = std::make_unique<TaskGroup>(eq_);
-
-    for (NodeId id = 0; id < cfg_.numNodes; ++id) {
-        auto node = std::make_unique<Node>();
-        const std::string name = "node" + std::to_string(id);
-        node->mem = std::make_unique<NodeMemory>();
-        node->fabric =
-            std::make_unique<NodeFabric>(eq_, name, cfg_.placement);
-        node->mainMem = std::make_unique<MainMemory>(name + ".memory");
-        node->fabric->membus().attach(node->mainMem.get());
-        node->proc = std::make_unique<Proc>(eq_, id, *node->fabric,
-                                            *node->mem, name + ".proc");
-        if (cfg_.snarfing)
-            node->proc->cache().setSnarfing(true);
-        node->ni = makeNi(*node, id);
-        node->ni->attachToBus();
-        for (int c = 0; c < cfg_.numContexts; ++c) {
-            node->msg.push_back(
-                std::make_unique<MsgLayer>(*node->proc, *node->ni, c));
-        }
-        nodes_.push_back(std::move(node));
-    }
-}
-
-System::~System() = default;
-
-std::unique_ptr<NetIface>
-System::makeNi(Node &node, NodeId id)
-{
-    const std::string name =
-        "node" + std::to_string(id) + "." + toString(cfg_.ni);
-    switch (cfg_.ni) {
-      case NiModel::NI2w:
-        return std::make_unique<Ni2w>(eq_, id, *node.fabric, *net_,
-                                      *node.mem, name);
-      case NiModel::CNI4:
-        return std::make_unique<Cni4>(eq_, id, *node.fabric, *net_,
-                                      *node.mem, name);
-      case NiModel::CNI16Q:
-      case NiModel::CNI512Q:
-      case NiModel::CNI16Qm: {
-        CniqConfig qc;
-        if (cfg_.cniqOverride) {
-            qc = *cfg_.cniqOverride;
-        } else if (cfg_.ni == NiModel::CNI16Q) {
-            qc = CniqConfig::cni16q();
-        } else if (cfg_.ni == NiModel::CNI512Q) {
-            qc = CniqConfig::cni512q();
-        } else {
-            qc = CniqConfig::cni16qm();
-        }
-        qc.numContexts = cfg_.numContexts;
-        return std::make_unique<Cniq>(eq_, id, *node.fabric, *net_,
-                                      *node.mem, name, qc);
-      }
-    }
-    cni_panic("unknown NI model");
-}
-
-void
-System::spawn(NodeId n, CoTask<void> task)
-{
-    cni_assert(n >= 0 && n < cfg_.numNodes);
-    group_->spawn(std::move(task));
-}
-
-Tick
-System::run()
-{
-    bool ok = eq_.runUntilDone([this] { return group_->done(); });
-    if (!ok) {
-        cni_fatal("workload deadlocked: %d task(s) never finished (%s)",
-                  group_->live(), cfg_.label().c_str());
-    }
-    return eq_.now();
-}
-
-Tick
-System::runUntil(Tick limit)
-{
-    while (eq_.now() < limit && !group_->done()) {
-        if (!eq_.step())
-            break;
-    }
-    return eq_.now();
-}
-
-Tick
-System::memBusOccupiedCycles() const
-{
-    Tick total = 0;
-    for (const auto &n : nodes_)
-        total += n->fabric->membus().occupiedCycles();
-    return total;
-}
-
-StatSet
-System::aggregateStats() const
-{
-    StatSet agg("system");
-    for (const auto &n : nodes_) {
-        agg.merge(n->fabric->membus().stats());
-        if (n->fabric->iobus())
-            agg.merge(n->fabric->iobus()->stats());
-        agg.merge(n->fabric->stats());
-        agg.merge(n->proc->cache().stats());
-        agg.merge(n->proc->stats());
-        agg.merge(n->ni->stats());
-        for (const auto &m : n->msg)
-            agg.merge(m->stats());
-    }
-    agg.merge(net_->stats());
-    return agg;
 }
 
 } // namespace cni

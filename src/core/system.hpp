@@ -1,42 +1,35 @@
 /**
  * @file
- * The simulated parallel machine (Section 4.1): N nodes, each a 200 MHz
- * dual-issue processor with a 256 KB direct-mapped cache, a 100 MHz
- * coherent memory bus (plus optional 50 MHz coherent I/O bus behind a
- * bridge, or a processor-local cache bus), one of the five network
- * interfaces, and a shared network fabric.
+ * DEPRECATED compatibility shim over core/machine.hpp.
  *
- * This is the primary entry point of the library:
+ * The enum-driven SystemConfig/System API is superseded by the
+ * machine-description API:
  *
- *   SystemConfig cfg;
- *   cfg.ni = NiModel::CNI16Qm;
- *   System sys(cfg);
- *   sys.spawn(0, pingProgram(sys.msg(0)));
- *   sys.spawn(1, pongProgram(sys.msg(1)));
- *   Tick t = sys.run();
+ *   Machine m = Machine::describe()
+ *                   .nodes(2)
+ *                   .ni("CNI16Qm")
+ *                   .placement(NiPlacement::MemoryBus)
+ *                   .build();
+ *   m.spawn(0, pingProgram(m.endpoint(0)));
+ *   Tick t = m.run();
+ *
+ * SystemConfig remains for one release as plain data convertible to a
+ * MachineSpec (so `Machine sys(cfg)` still compiles), and System is an
+ * alias for Machine. New code should include core/machine.hpp directly.
  */
 
 #ifndef CNI_CORE_SYSTEM_HPP
 #define CNI_CORE_SYSTEM_HPP
 
-#include <memory>
-#include <vector>
+#include <optional>
+#include <string>
 
-#include "bus/fabric.hpp"
-#include "core/taxonomy.hpp"
-#include "mem/main_memory.hpp"
-#include "mem/node_memory.hpp"
-#include "msg/msg_layer.hpp"
-#include "net/network.hpp"
-#include "ni/cniq.hpp"
-#include "ni/net_iface.hpp"
-#include "proc/proc.hpp"
-#include "sim/event_queue.hpp"
-#include "sim/task.hpp"
+#include "core/machine.hpp"
 
 namespace cni
 {
 
+/** \deprecated Describe machines with Machine::describe() instead. */
 struct SystemConfig
 {
     int numNodes = 16;
@@ -46,85 +39,27 @@ struct SystemConfig
     int numContexts = 1;   //!< per-node user processes (CNIiQ family)
 
     /** Optional override of the CNIiQ configuration (ablations). */
-    std::unique_ptr<CniqConfig> cniqOverride;
+    std::optional<CniqConfig> cniqOverride;
 
     SystemConfig() = default;
     SystemConfig(NiModel m, NiPlacement p) : ni(m), placement(p) {}
-    SystemConfig(const SystemConfig &o)
-        : numNodes(o.numNodes), ni(o.ni), placement(o.placement),
-          snarfing(o.snarfing), numContexts(o.numContexts)
-    {
-        if (o.cniqOverride)
-            cniqOverride = std::make_unique<CniqConfig>(*o.cniqOverride);
-    }
+
+    /** The equivalent machine description. */
+    MachineSpec spec() const;
+    operator MachineSpec() const { return spec(); }
 
     /** Human-readable configuration label, e.g. "CNI512Q/io-bus". */
-    std::string label() const;
+    std::string label() const { return spec().label(); }
 
     /** Is this NI/placement combination implementable (Section 5)? */
-    bool valid(std::string *why = nullptr) const;
-};
-
-class System
-{
-  public:
-    explicit System(SystemConfig cfg);
-    ~System();
-
-    System(const System &) = delete;
-    System &operator=(const System &) = delete;
-
-    int numNodes() const { return cfg_.numNodes; }
-    const SystemConfig &config() const { return cfg_; }
-
-    EventQueue &eq() { return eq_; }
-    Network &net() { return *net_; }
-    Proc &proc(NodeId n) { return *nodes_[n]->proc; }
-    NetIface &ni(NodeId n) { return *nodes_[n]->ni; }
-    MsgLayer &msg(NodeId n, int ctx = 0) { return *nodes_[n]->msg[ctx]; }
-    NodeMemory &mem(NodeId n) { return *nodes_[n]->mem; }
-    NodeFabric &fabric(NodeId n) { return *nodes_[n]->fabric; }
-
-    /** Start a workload coroutine (counted toward completion). */
-    void spawn(NodeId n, CoTask<void> task);
-
-    /**
-     * Run until every spawned workload task finishes. Returns the final
-     * simulated tick. Fails (fatal) if the event queue drains first —
-     * that means the workload deadlocked.
-     */
-    Tick run();
-
-    /** Run at most `limit` ticks (for watchdog-style tests). */
-    Tick runUntil(Tick limit);
-
-    bool workloadDone() const { return group_->done(); }
-
-    /** Sum of memory-bus occupied cycles across all nodes (Section 5.2). */
-    Tick memBusOccupiedCycles() const;
-
-    /** Aggregate statistics over every component in the machine. */
-    StatSet aggregateStats() const;
-
-  private:
-    struct Node
+    bool valid(std::string *why = nullptr) const
     {
-        std::unique_ptr<NodeMemory> mem;
-        std::unique_ptr<NodeFabric> fabric;
-        std::unique_ptr<MainMemory> mainMem;
-        std::unique_ptr<Proc> proc;
-        std::unique_ptr<NetIface> ni;
-        std::vector<std::unique_ptr<MsgLayer>> msg;
-    };
-
-    std::unique_ptr<NetIface> makeNi(Node &node, NodeId id);
-
-    SystemConfig cfg_;
-    EventQueue eq_;
-    std::unique_ptr<Network> net_;
-    std::vector<std::unique_ptr<Node>> nodes_;
-    std::unique_ptr<TaskGroup> group_;
+        return spec().valid(why);
+    }
 };
+
+/** \deprecated Use Machine. */
+using System = Machine;
 
 } // namespace cni
 

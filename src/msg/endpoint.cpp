@@ -1,0 +1,104 @@
+#include "msg/endpoint.hpp"
+
+#include "sim/logging.hpp"
+
+namespace cni
+{
+
+void
+Endpoint::bindPush(Port port)
+{
+    cni_assert(port < kReservedPortBase);
+    // A port is either push (handler) or pull (mailbox), never both:
+    // registerHandler would silently disconnect the mailbox and a later
+    // recv() on it would hang.
+    cni_assert(mailboxes_.count(port) == 0);
+    pushPorts_.insert(port);
+}
+
+void
+Endpoint::onMessage(Port port, MsgLayer::Handler h)
+{
+    bindPush(port);
+    msg_.registerHandler(port, std::move(h));
+}
+
+CoTask<void>
+Endpoint::send(NodeId dst, Port port, const void *data, std::size_t bytes,
+               std::uint64_t tag)
+{
+    cni_assert((tag & kRpcTagFlag) == 0); // reserved for rpc correlation
+    return msg_.send(dst, port, data, bytes, tag);
+}
+
+void
+Endpoint::subscribe(Port port)
+{
+    cni_assert(port < kReservedPortBase);
+    if (mailboxes_.count(port))
+        return;
+    cni_assert(pushPorts_.count(port) == 0);
+    mailboxes_.emplace(port, std::deque<UserMsg>{});
+    msg_.registerHandler(port, [this, port](const UserMsg &u) -> CoTask<void> {
+        mailboxes_[port].push_back(u);
+        co_return;
+    });
+}
+
+CoTask<UserMsg>
+Endpoint::recv(Port port)
+{
+    subscribe(port);
+    auto &box = mailboxes_[port];
+    co_await msg_.pollUntil([&box] { return !box.empty(); });
+    UserMsg m = std::move(box.front());
+    box.pop_front();
+    co_return m;
+}
+
+void
+Endpoint::serve(Port port, RpcHandler fn)
+{
+    bindPush(port);
+    msg_.registerHandler(
+        port, [this, fn = std::move(fn)](const UserMsg &u) -> CoTask<void> {
+            std::vector<std::uint8_t> reply = co_await fn(u);
+            // Only correlated rpc() requests carry the reserved tag bit;
+            // a plain send() (any application tag) is a one-way
+            // notification — replying would hit a sender that has no
+            // reply plumbing registered.
+            if ((u.userTag & kRpcTagFlag) == 0)
+                co_return;
+            co_await msg_.send(u.src, kRpcReplyPort, reply.data(),
+                               reply.size(), u.userTag);
+        });
+}
+
+void
+Endpoint::ensureRpcReplyPlumbing()
+{
+    if (rpcPlumbed_)
+        return;
+    rpcPlumbed_ = true;
+    msg_.registerHandler(kRpcReplyPort,
+                         [this](const UserMsg &u) -> CoTask<void> {
+                             rpcReplies_[u.userTag] = u;
+                             co_return;
+                         });
+}
+
+CoTask<UserMsg>
+Endpoint::rpc(NodeId dst, Port port, const void *data, std::size_t bytes)
+{
+    ensureRpcReplyPlumbing();
+    const std::uint64_t tag = kRpcTagFlag | ++rpcSeq_;
+    co_await msg_.send(dst, port, data, bytes, tag);
+    co_await msg_.pollUntil(
+        [this, tag] { return rpcReplies_.count(tag) != 0; });
+    auto it = rpcReplies_.find(tag);
+    UserMsg reply = std::move(it->second);
+    rpcReplies_.erase(it);
+    co_return reply;
+}
+
+} // namespace cni

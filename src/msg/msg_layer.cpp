@@ -76,7 +76,7 @@ MsgLayer::send(NodeId dst, std::uint32_t handler, const void *payload,
 CoTask<void>
 MsgLayer::drainWhileBlocked()
 {
-    if (ni_.hardwareBuffersOverflow()) {
+    if (!softwareDrains()) {
         // CNI16Qm: the device buffers receive overflow in main memory;
         // the processor just waits for send-queue space.
         co_await p_.delay(8);

@@ -51,6 +51,20 @@ constexpr Tick kDispatchCycles = 8;
 constexpr Addr kUserBufBase = kMemBase + 0x0602'8000;
 constexpr Addr kUserBufSize = 0x2'0000;
 
+/**
+ * What the messaging layer does while a send is blocked on a full NI.
+ * `Auto` picks per device: hardware-overflow NIs (CNI16Qm) just wait,
+ * everything else drains incoming messages into user-space buffers to
+ * avoid fetch deadlock. The explicit policies exist for the Endpoint
+ * facade (and ablations) to force one behaviour.
+ */
+enum class FlowControlPolicy
+{
+    Auto,
+    SoftwareDrain, //!< always extract + buffer incoming while blocked
+    HardwareWait,  //!< never drain; trust the device to buffer overflow
+};
+
 class MsgLayer
 {
   public:
@@ -61,6 +75,7 @@ class MsgLayer
     Proc &proc() { return p_; }
     NetIface &ni() { return ni_; }
     NodeId nodeId() const { return p_.id(); }
+    int context() const { return ctx_; }
 
     /** Register the coroutine invoked for messages carrying `id`. */
     void registerHandler(std::uint32_t id, Handler h);
@@ -88,6 +103,18 @@ class MsgLayer
     /** Poll (dispatching handlers) until `pred()` holds. */
     CoTask<void> pollUntil(std::function<bool()> pred);
 
+    void setFlowControl(FlowControlPolicy p) { flowControl_ = p; }
+    FlowControlPolicy flowControl() const { return flowControl_; }
+
+    /** The policy actually in effect (Auto resolved per device). */
+    bool
+    softwareDrains() const
+    {
+        if (flowControl_ == FlowControlPolicy::Auto)
+            return !ni_.hardwareBuffersOverflow();
+        return flowControl_ == FlowControlPolicy::SoftwareDrain;
+    }
+
     StatSet &stats() { return stats_; }
 
   private:
@@ -105,6 +132,7 @@ class MsgLayer
     std::map<std::pair<NodeId, std::uint32_t>, int> partialLeft_;
     std::uint32_t sendSeq_ = 0;
     Addr userBufCursor_ = 0;
+    FlowControlPolicy flowControl_ = FlowControlPolicy::Auto;
     StatSet stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "ni/cni4.hpp"
 
+#include "ni/registry.hpp"
 #include "sim/logging.hpp"
 
 namespace cni
@@ -244,6 +245,19 @@ Cni4::presentNextRecv()
     }
     recvReady_ = true;
     stats_.incr("recv_presented");
+}
+
+void
+detail::registerCni4Model(NiRegistry &r)
+{
+    NiTraits t;
+    t.coherent = true;
+    t.queueBased = false;
+    t.memoryHomedRecv = false;
+    r.register_("CNI4", t, [](const NiBuildContext &c) {
+        return std::make_unique<Cni4>(c.eq, c.node, c.fabric, c.net, c.mem,
+                                      c.name);
+    });
 }
 
 } // namespace cni

@@ -1,5 +1,6 @@
 #include "ni/cniq.hpp"
 
+#include "ni/registry.hpp"
 #include "sim/logging.hpp"
 
 namespace cni
@@ -41,6 +42,18 @@ CniqConfig::cni16qm()
     c.recvCacheBlocks = 16;
     c.recvHomeMemory = true;
     return c;
+}
+
+std::optional<CniqConfig>
+CniqConfig::preset(const std::string &model)
+{
+    if (model == "CNI16Q")
+        return cni16q();
+    if (model == "CNI512Q")
+        return cni512q();
+    if (model == "CNI16Qm")
+        return cni16qm();
+    return std::nullopt;
 }
 
 Cniq::Cniq(EventQueue &eq, NodeId node, NodeFabric &fabric, Network &net,
@@ -492,6 +505,24 @@ Cniq::sendWork(int ctx)
         c.pulledInSlot = 0;
     }
     co_return true;
+}
+
+void
+detail::registerCniqModels(NiRegistry &r)
+{
+    for (const char *name : {"CNI16Q", "CNI512Q", "CNI16Qm"}) {
+        const CniqConfig preset = *CniqConfig::preset(name);
+        NiTraits t;
+        t.coherent = true;
+        t.queueBased = true;
+        t.memoryHomedRecv = preset.recvHomeMemory;
+        r.register_(name, t, [preset](const NiBuildContext &c) {
+            CniqConfig qc = c.cniqOverride ? *c.cniqOverride : preset;
+            qc.numContexts = c.numContexts;
+            return std::make_unique<Cniq>(c.eq, c.node, c.fabric, c.net,
+                                          c.mem, c.name, qc);
+        });
+    }
 }
 
 } // namespace cni

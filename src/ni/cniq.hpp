@@ -33,6 +33,7 @@
 
 #include <deque>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "mem/cache.hpp"
@@ -59,6 +60,9 @@ struct CniqConfig
     static CniqConfig cni16q();
     static CniqConfig cni512q();
     static CniqConfig cni16qm();
+
+    /** The builtin preset for a CNIiQ taxonomy label, if there is one. */
+    static std::optional<CniqConfig> preset(const std::string &model);
 };
 
 class Cniq : public NetIface

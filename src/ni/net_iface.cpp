@@ -1,41 +1,11 @@
 #include "ni/net_iface.hpp"
 
+#include <exception>
+
+#include "sim/logging.hpp"
+
 namespace cni
 {
-
-namespace
-{
-
-/// Minimal fire-and-forget coroutine wrapper used by detach().
-struct DetachedTask
-{
-    struct promise_type
-    {
-        DetachedTask get_return_object() { return {}; }
-        std::suspend_never initial_suspend() noexcept { return {}; }
-        std::suspend_never final_suspend() noexcept { return {}; }
-        void return_void() {}
-        void
-        unhandled_exception()
-        {
-            cni_panic("unhandled exception escaped a detached task");
-        }
-    };
-};
-
-DetachedTask
-runDetached(CoTask<void> task)
-{
-    co_await std::move(task);
-}
-
-} // namespace
-
-void
-detach(CoTask<void> task)
-{
-    runDetached(std::move(task));
-}
 
 NetIface::NetIface(EventQueue &eq, NodeId node, NodeFabric &fabric,
                    Network &net, NodeMemory &mem, std::string name)
@@ -68,38 +38,57 @@ NetIface::queueForInjection(NetMsg msg)
     injectCh_.notifyAll();
 }
 
+// Both service loops catch everything: nobody co_awaits an owned
+// engine frame, so an exception stored in its promise would otherwise
+// vanish and the simulation would die later with a misleading
+// "workload deadlocked" instead of the real crash site.
+
 CoTask<void>
 NetIface::engineLoop()
 {
-    for (;;) {
-        bool did = co_await engineStep();
-        if (!did)
-            co_await kickCh_.wait();
+    try {
+        for (;;) {
+            bool did = co_await engineStep();
+            if (!did)
+                co_await kickCh_.wait();
+        }
+    } catch (const std::exception &e) {
+        cni_panic("%s: engine coroutine threw: %s", name_.c_str(),
+                  e.what());
+    } catch (...) {
+        cni_panic("%s: engine coroutine threw", name_.c_str());
     }
 }
 
 CoTask<void>
 NetIface::injectLoop()
 {
-    for (;;) {
-        if (injectQ_.empty()) {
-            co_await injectCh_.wait();
-            continue;
+    try {
+        for (;;) {
+            if (injectQ_.empty()) {
+                co_await injectCh_.wait();
+                continue;
+            }
+            const NodeId dst = injectQ_.front().dst;
+            if (!net_.canInject(node_, dst)) {
+                stats_.incr("window_stalls");
+                co_await net_.windowChannel(node_).wait();
+                continue;
+            }
+            NetMsg msg = std::move(injectQ_.front());
+            injectQ_.pop_front();
+            co_await busyFor(kNiInjectCycles);
+            stats_.incr("injected");
+            net_.inject(std::move(msg));
+            // Backlog space freed: the engine may resume draining its
+            // send queue (see kInjectBacklogLimit).
+            kick();
         }
-        const NodeId dst = injectQ_.front().dst;
-        if (!net_.canInject(node_, dst)) {
-            stats_.incr("window_stalls");
-            co_await net_.windowChannel(node_).wait();
-            continue;
-        }
-        NetMsg msg = std::move(injectQ_.front());
-        injectQ_.pop_front();
-        co_await busyFor(kNiInjectCycles);
-        stats_.incr("injected");
-        net_.inject(std::move(msg));
-        // Backlog space freed: the engine may resume draining its send
-        // queue (see kInjectBacklogLimit).
-        kick();
+    } catch (const std::exception &e) {
+        cni_panic("%s: inject coroutine threw: %s", name_.c_str(),
+                  e.what());
+    } catch (...) {
+        cni_panic("%s: inject coroutine threw", name_.c_str());
     }
 }
 

@@ -38,9 +38,6 @@
 namespace cni
 {
 
-/** Start a fire-and-forget coroutine (device engines). */
-void detach(CoTask<void> task);
-
 class NetIface : public BusAgent, public NiPort
 {
   public:
@@ -97,8 +94,12 @@ class NetIface : public BusAgent, public NiPort
     attachToBus()
     {
         busId_ = fabric_.niBus().attach(this);
-        detach(engineLoop());
-        detach(injectLoop());
+        // The device owns its service coroutines: they loop forever, so
+        // the frames are reclaimed by ~NetIface rather than leaking.
+        engines_.push_back(engineLoop());
+        engines_.push_back(injectLoop());
+        for (auto &e : engines_)
+            e.start();
     }
 
   protected:
@@ -142,6 +143,7 @@ class NetIface : public BusAgent, public NiPort
     WaitChannel kickCh_;
     WaitChannel injectCh_;
     std::deque<NetMsg> injectQ_;
+    std::vector<CoTask<void>> engines_; //!< owned service coroutines
 };
 
 } // namespace cni

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Shared command-line parsing for bench/ and examples/ binaries, so
+ * configuration sweeps never require recompilation:
+ *
+ *   --ni MODEL        NI model name (NiRegistry; e.g. CNI16Qm)
+ *   --nodes N         machine size
+ *   --contexts N      user processes per node (CNIiQ family)
+ *   --placement P     memory | io | cache
+ *   --snarf           enable writeback snarfing (CNI16Qm)
+ *   --seed S          workload-synthesis seed
+ *   --json PATH       run-report output; "-" = stdout, "none" = off
+ *                     (default: <binary>.report.json)
+ *   --help            usage
+ *
+ * Flags the user did not pass leave the binary's own defaults intact
+ * (apply() only overrides what was given). parse() enables the run-
+ * report sink; call emitReports() at the end of main.
+ */
+
+#ifndef CNI_SIM_CLI_HPP
+#define CNI_SIM_CLI_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "sim/logging.hpp"
+#include "sim/report.hpp"
+
+namespace cni::cli
+{
+
+struct Options
+{
+    std::string prog; //!< basename of argv[0]
+    std::optional<std::string> ni;
+    std::optional<int> nodes;
+    std::optional<int> contexts;
+    std::optional<std::string> placement;
+    std::optional<bool> snarf;
+    std::optional<std::uint64_t> seed;
+    std::string json; //!< report path; "-" stdout, "none" disabled
+    std::vector<std::string> positional;
+
+    /** Overlay the explicitly-given flags onto a machine description. */
+    MachineBuilder &
+    apply(MachineBuilder &b) const
+    {
+        if (nodes)
+            b.nodes(*nodes);
+        if (ni)
+            b.ni(*ni);
+        if (placement)
+            b.placement(*placement);
+        if (contexts)
+            b.contexts(*contexts);
+        if (snarf)
+            b.snarfing(*snarf);
+        return b;
+    }
+
+    std::uint64_t
+    seedOr(std::uint64_t def) const
+    {
+        return seed ? *seed : def;
+    }
+
+    /** Write the collected run reports; call once at the end of main. */
+    void
+    emitReports() const
+    {
+        if (json == "none" || !report::enabled())
+            return;
+        const std::string doc = report::drain(prog);
+        if (json == "-") {
+            std::fputs(doc.c_str(), stdout);
+            std::fputc('\n', stdout);
+            return;
+        }
+        std::ofstream out(json);
+        if (!out) {
+            cni_warn("cannot write run report to %s", json.c_str());
+            return;
+        }
+        out << doc << "\n";
+    }
+};
+
+inline Options
+parse(int argc, char **argv, const char *extraUsage = nullptr)
+{
+    Options o;
+    const char *slash = std::strrchr(argv[0], '/');
+    o.prog = slash ? slash + 1 : argv[0];
+    o.json = o.prog + ".report.json";
+
+    auto usage = [&](int exitCode) {
+        std::printf(
+            "usage: %s [--ni MODEL] [--nodes N] [--contexts N]\n"
+            "       [--placement memory|io|cache] [--snarf] [--seed S]\n"
+            "       [--json PATH|-|none] %s\n",
+            o.prog.c_str(), extraUsage ? extraUsage : "");
+        std::exit(exitCode);
+    };
+    auto need = [&](int i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s: %s needs an argument\n",
+                         o.prog.c_str(), argv[i]);
+            usage(1);
+        }
+        return argv[i + 1];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--ni") {
+            o.ni = need(i);
+            ++i;
+        } else if (a == "--nodes") {
+            o.nodes = std::atoi(need(i));
+            ++i;
+        } else if (a == "--contexts") {
+            o.contexts = std::atoi(need(i));
+            ++i;
+        } else if (a == "--placement") {
+            o.placement = need(i);
+            ++i;
+        } else if (a == "--snarf") {
+            o.snarf = true;
+        } else if (a == "--seed") {
+            o.seed = std::strtoull(need(i), nullptr, 10);
+            ++i;
+        } else if (a == "--json") {
+            o.json = need(i);
+            ++i;
+        } else if (a == "--help" || a == "-h") {
+            usage(0);
+        } else if (a.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "%s: unknown flag %s\n", o.prog.c_str(),
+                         a.c_str());
+            usage(1);
+        } else {
+            o.positional.push_back(a);
+        }
+    }
+
+    report::enable(o.json != "none");
+    return o;
+}
+
+} // namespace cni::cli
+
+#endif // CNI_SIM_CLI_HPP

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Minimal streaming JSON writer — just enough for machine reports, with
+ * no external dependencies. Commas and nesting are managed by a small
+ * state stack; strings are escaped per RFC 8259.
+ *
+ *   JsonWriter w;
+ *   w.beginObject().key("nodes").value(16).key("models").beginArray()
+ *    .value("NI2w").endArray().endObject();
+ *   std::string s = w.str();
+ */
+
+#ifndef CNI_SIM_JSON_HPP
+#define CNI_SIM_JSON_HPP
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/logging.hpp"
+
+namespace cni
+{
+
+class JsonWriter
+{
+  public:
+    JsonWriter &
+    beginObject()
+    {
+        comma();
+        out_ += '{';
+        first_.push_back(true);
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        pop();
+        out_ += '}';
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        comma();
+        out_ += '[';
+        first_.push_back(true);
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        pop();
+        out_ += ']';
+        return *this;
+    }
+
+    JsonWriter &
+    key(std::string_view k)
+    {
+        comma();
+        escape(k);
+        out_ += ':';
+        // The next value belongs to this key: suppress its comma.
+        pendingKey_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::string_view v)
+    {
+        comma();
+        escape(v);
+        return *this;
+    }
+
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+    JsonWriter &value(const std::string &v)
+    {
+        return value(std::string_view(v));
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        comma();
+        out_ += v ? "true" : "false";
+        return *this;
+    }
+
+    // One overload per builtin integer type: fixed-width aliases map
+    // onto different builtins per platform (int64_t is long on LP64
+    // Linux but long long on macOS), so aliasing them here would create
+    // duplicate signatures off-Linux.
+    JsonWriter &
+    value(long long v)
+    {
+        comma();
+        out_ += std::to_string(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(unsigned long long v)
+    {
+        comma();
+        out_ += std::to_string(v);
+        return *this;
+    }
+
+    JsonWriter &value(int v) { return value(static_cast<long long>(v)); }
+    JsonWriter &value(long v) { return value(static_cast<long long>(v)); }
+    JsonWriter &value(unsigned v)
+    {
+        return value(static_cast<unsigned long long>(v));
+    }
+    JsonWriter &value(unsigned long v)
+    {
+        return value(static_cast<unsigned long long>(v));
+    }
+
+    JsonWriter &
+    value(double v)
+    {
+        comma();
+        if (!std::isfinite(v)) {
+            out_ += "null"; // JSON has no inf/nan
+            return *this;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        out_ += buf;
+        return *this;
+    }
+
+    /** Splice a pre-rendered JSON value verbatim (trusted input). */
+    JsonWriter &
+    raw(std::string_view json)
+    {
+        comma();
+        out_ += json;
+        return *this;
+    }
+
+    const std::string &
+    str() const
+    {
+        cni_assert(first_.empty());
+        return out_;
+    }
+
+  private:
+    void
+    comma()
+    {
+        if (pendingKey_) {
+            pendingKey_ = false;
+            return;
+        }
+        if (!first_.empty()) {
+            if (!first_.back())
+                out_ += ',';
+            first_.back() = false;
+        }
+    }
+
+    void
+    pop()
+    {
+        cni_assert(!first_.empty());
+        first_.pop_back();
+        pendingKey_ = false;
+    }
+
+    void
+    escape(std::string_view s)
+    {
+        out_ += '"';
+        for (char c : s) {
+            switch (c) {
+              case '"':
+                out_ += "\\\"";
+                break;
+              case '\\':
+                out_ += "\\\\";
+                break;
+              case '\n':
+                out_ += "\\n";
+                break;
+              case '\r':
+                out_ += "\\r";
+                break;
+              case '\t':
+                out_ += "\\t";
+                break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out_ += buf;
+                } else {
+                    out_ += c;
+                }
+            }
+        }
+        out_ += '"';
+    }
+
+    std::string out_;
+    std::vector<bool> first_; //!< per nesting level: no element yet
+    bool pendingKey_ = false;
+};
+
+} // namespace cni
+
+#endif // CNI_SIM_JSON_HPP

@@ -1,0 +1,76 @@
+#include "sim/report.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "sim/json.hpp"
+
+namespace cni::report
+{
+
+namespace
+{
+
+struct Run
+{
+    std::string label;
+    std::string json;
+};
+
+bool g_enabled = false;
+std::vector<Run> g_runs;
+
+} // namespace
+
+void
+enable(bool on)
+{
+    g_enabled = on;
+}
+
+bool
+enabled()
+{
+    return g_enabled;
+}
+
+void
+add(const std::string &label, const std::string &json)
+{
+    if (!g_enabled)
+        return;
+    g_runs.push_back(Run{label, json});
+}
+
+std::size_t
+count()
+{
+    return g_runs.size();
+}
+
+void
+clear()
+{
+    g_runs.clear();
+}
+
+std::string
+drain(const std::string &binaryName)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("binary").value(binaryName);
+    w.key("runs").beginArray();
+    for (const Run &r : g_runs) {
+        w.beginObject();
+        w.key("label").value(r.label);
+        w.key("report").raw(r.json);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    g_runs.clear();
+    return w.str();
+}
+
+} // namespace cni::report

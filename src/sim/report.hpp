@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Process-wide collection of per-run machine reports.
+ *
+ * Benchmark and example binaries enable the sink (the shared CLI does
+ * it), the measurement helpers add one Machine::report() document per
+ * simulated run, and the binary writes everything out as a single JSON
+ * array at exit — so no harness re-implements stats aggregation.
+ *
+ * Disabled by default: unit tests and library users pay nothing.
+ */
+
+#ifndef CNI_SIM_REPORT_HPP
+#define CNI_SIM_REPORT_HPP
+
+#include <string>
+
+namespace cni::report
+{
+
+/** Turn collection on/off (off drops add() calls and clears nothing). */
+void enable(bool on);
+bool enabled();
+
+/**
+ * Record one run. `label` names the run (configuration, workload, ...);
+ * `json` must be a complete JSON value (e.g. Machine::report()).
+ */
+void add(const std::string &label, const std::string &json);
+
+/** Number of collected runs. */
+std::size_t count();
+
+/** Drop all collected runs. */
+void clear();
+
+/**
+ * Render `{"binary": name, "runs": [{"label":..., "report":...}...]}`
+ * and clear the collection.
+ */
+std::string drain(const std::string &binaryName);
+
+} // namespace cni::report
+
+#endif // CNI_SIM_REPORT_HPP

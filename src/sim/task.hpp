@@ -191,6 +191,22 @@ class [[nodiscard]] CoTask<void>
 
     bool valid() const { return handle_ != nullptr; }
 
+    /**
+     * Kick off this task without awaiting it: runs until the first
+     * suspension, with no continuation. The frame stays owned by this
+     * CoTask — keep it alive while the task runs; destroying the CoTask
+     * reclaims an unfinished (suspended) frame. For forever-looping
+     * service coroutines (device engines) that must not outlive their
+     * owner. Nothing ever rethrows a started task's stored exception,
+     * so the coroutine body must catch (and panic on) its own errors.
+     */
+    void
+    start()
+    {
+        cni_assert(handle_ && !handle_.done());
+        handle_.resume();
+    }
+
     auto
     operator co_await() &&
     {

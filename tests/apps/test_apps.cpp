@@ -19,7 +19,7 @@ namespace
 struct AppCase
 {
     const char *name;
-    NiModel ni;
+    const char *ni;
 };
 
 class AppsOnEveryNi
@@ -27,19 +27,17 @@ class AppsOnEveryNi
 {
 };
 
-SystemConfig
-cfgFor(NiModel m)
+MachineSpec
+specFor(const char *m)
 {
-    SystemConfig cfg(m, NiPlacement::MemoryBus);
-    cfg.numNodes = 8; // smaller machine keeps tests quick
-    return cfg;
+    // A smaller machine keeps tests quick.
+    return Machine::describe().nodes(8).ni(m).spec();
 }
 
 TEST_P(AppsOnEveryNi, CompletesWithTraffic)
 {
     const auto &pc = GetParam();
-    SystemConfig cfg = cfgFor(pc.ni);
-    AppResult r = runMacrobenchmark(pc.name, cfg);
+    AppResult r = runMacrobenchmark(pc.name, specFor(pc.ni));
     EXPECT_GT(r.ticks, 0u);
     EXPECT_GT(r.userMsgs, 0u);
     EXPECT_GT(r.memBusOccupied, 0u);
@@ -51,7 +49,7 @@ allCases()
     std::vector<AppCase> cases;
     for (const auto &name : macrobenchmarkNames()) {
         for (NiModel m : kAllNiModels)
-            cases.push_back({name.c_str(), m});
+            cases.push_back({name.c_str(), toString(m)});
     }
     return cases;
 }
@@ -59,7 +57,7 @@ allCases()
 std::string
 appCaseName(const ::testing::TestParamInfo<AppCase> &info)
 {
-    return std::string(info.param.name) + "_" + toString(info.param.ni);
+    return std::string(info.param.name) + "_" + info.param.ni;
 }
 
 INSTANTIATE_TEST_SUITE_P(AllApps, AppsOnEveryNi,
@@ -71,10 +69,9 @@ TEST(Apps, ChecksumIndependentOfInterconnect)
     // the messages — only the timing may change.
     for (const auto &name : macrobenchmarkNames()) {
         std::map<std::string, std::uint64_t> sums;
-        for (NiModel m : {NiModel::NI2w, NiModel::CNI512Q,
-                          NiModel::CNI16Qm}) {
-            AppResult r = runMacrobenchmark(name, cfgFor(m));
-            sums[toString(m)] = r.checksum;
+        for (const char *m : {"NI2w", "CNI512Q", "CNI16Qm"}) {
+            AppResult r = runMacrobenchmark(name, specFor(m));
+            sums[m] = r.checksum;
         }
         EXPECT_EQ(sums["NI2w"], sums["CNI512Q"]) << name;
         EXPECT_EQ(sums["NI2w"], sums["CNI16Qm"]) << name;
@@ -84,8 +81,8 @@ TEST(Apps, ChecksumIndependentOfInterconnect)
 TEST(Apps, DeterministicAcrossRuns)
 {
     for (const auto &name : macrobenchmarkNames()) {
-        AppResult a = runMacrobenchmark(name, cfgFor(NiModel::CNI16Q));
-        AppResult b = runMacrobenchmark(name, cfgFor(NiModel::CNI16Q));
+        AppResult a = runMacrobenchmark(name, specFor("CNI16Q"));
+        AppResult b = runMacrobenchmark(name, specFor("CNI16Q"));
         EXPECT_EQ(a.ticks, b.ticks) << name;
         EXPECT_EQ(a.userMsgs, b.userMsgs) << name;
         EXPECT_EQ(a.checksum, b.checksum) << name;
@@ -94,8 +91,7 @@ TEST(Apps, DeterministicAcrossRuns)
 
 TEST(Apps, SpsolveCompletesAllElements)
 {
-    SystemConfig cfg = cfgFor(NiModel::CNI512Q);
-    System sys(cfg);
+    Machine sys(specFor("CNI512Q"));
     SpsolveParams p;
     p.elements = 500;
     AppResult r = runSpsolve(sys, p);
@@ -104,32 +100,31 @@ TEST(Apps, SpsolveCompletesAllElements)
 
 TEST(Apps, GaussBroadcastsEveryPivot)
 {
-    SystemConfig cfg = cfgFor(NiModel::CNI512Q);
-    System sys(cfg);
+    const MachineSpec spec = specFor("CNI512Q");
+    Machine sys(spec);
     GaussParams p;
     p.pivots = 12;
     AppResult r = runGauss(sys, p);
     EXPECT_EQ(r.checksum, 12u); // node 1 saw all pivots
     // One-to-all broadcast: (nodes-1) messages per pivot + barrier.
-    EXPECT_GE(r.userMsgs, std::uint64_t(12 * (cfg.numNodes - 1)));
+    EXPECT_GE(r.userMsgs, std::uint64_t(12 * (spec.numNodes - 1)));
 }
 
 TEST(Apps, MoldynReductionRoundTotals)
 {
-    SystemConfig cfg = cfgFor(NiModel::CNI16Qm);
-    System sys(cfg);
+    const MachineSpec spec = specFor("CNI16Qm");
+    Machine sys(spec);
     MoldynParams p;
     p.iterations = 3;
     AppResult r = runMoldyn(sys, p);
     // Each node receives one chunk per round per iteration.
     EXPECT_EQ(r.checksum,
-              std::uint64_t(3) * cfg.numNodes * cfg.numNodes);
+              std::uint64_t(3) * spec.numNodes * spec.numNodes);
 }
 
 TEST(Apps, AppbtHotSpotReceivesMoreRequests)
 {
-    SystemConfig cfg = cfgFor(NiModel::CNI512Q);
-    System sys(cfg);
+    Machine sys(specFor("CNI512Q"));
     AppbtParams p;
     p.iterations = 1;
     p.blocksPerNeighbor = 4;
@@ -139,8 +134,7 @@ TEST(Apps, AppbtHotSpotReceivesMoreRequests)
 
 TEST(Apps, Em3dUpdateCountMatchesGraph)
 {
-    SystemConfig cfg = cfgFor(NiModel::CNI16Q);
-    System sys(cfg);
+    Machine sys(specFor("CNI16Q"));
     Em3dParams p;
     p.iterations = 2;
     AppResult r = runEm3d(sys, p);

@@ -16,29 +16,38 @@ namespace cni
 namespace
 {
 
-double
-rtUs(NiModel m, NiPlacement p, std::size_t bytes)
+MachineSpec
+twoNode(const char *ni, NiPlacement p, bool snarf = false)
 {
-    SystemConfig cfg(m, p);
-    cfg.numNodes = 2;
-    return roundTripLatency(cfg, bytes, /*rounds=*/8).microseconds;
+    return Machine::describe()
+        .nodes(2)
+        .ni(ni)
+        .placement(p)
+        .snarfing(snarf)
+        .spec();
 }
 
 double
-bwMBps(NiModel m, NiPlacement p, std::size_t bytes)
+rtUs(const char *ni, NiPlacement p, std::size_t bytes)
 {
-    SystemConfig cfg(m, p);
-    cfg.numNodes = 2;
-    return streamBandwidth(cfg, bytes, /*messages=*/48).megabytesPerSec;
+    return roundTripLatency(twoNode(ni, p), bytes, /*rounds=*/8)
+        .microseconds;
+}
+
+double
+bwMBps(const char *ni, NiPlacement p, std::size_t bytes)
+{
+    return streamBandwidth(twoNode(ni, p), bytes, /*messages=*/48)
+        .megabytesPerSec;
 }
 
 TEST(PaperShapes, CnisBeatNi2wLatencyAt64BOnBothBuses)
 {
     // Abstract: 37% better on the memory bus, 74% on the I/O bus.
-    const double memRatio = rtUs(NiModel::NI2w, NiPlacement::MemoryBus, 64) /
-                            rtUs(NiModel::CNI16Qm, NiPlacement::MemoryBus, 64);
-    const double ioRatio = rtUs(NiModel::NI2w, NiPlacement::IoBus, 64) /
-                           rtUs(NiModel::CNI512Q, NiPlacement::IoBus, 64);
+    const double memRatio = rtUs("NI2w", NiPlacement::MemoryBus, 64) /
+                            rtUs("CNI16Qm", NiPlacement::MemoryBus, 64);
+    const double ioRatio = rtUs("NI2w", NiPlacement::IoBus, 64) /
+                           rtUs("CNI512Q", NiPlacement::IoBus, 64);
     EXPECT_GT(memRatio, 1.10); // at least 10% better
     EXPECT_GT(ioRatio, 1.30);  // the I/O-bus advantage is larger
     EXPECT_GT(ioRatio, memRatio);
@@ -48,11 +57,11 @@ TEST(PaperShapes, LatencyAdvantageGrowsWithMessageSize)
 {
     // Section 5.1.1: 20-84% better across 8..256 bytes on the memory bus.
     const double small =
-        rtUs(NiModel::NI2w, NiPlacement::MemoryBus, 8) /
-        rtUs(NiModel::CNI512Q, NiPlacement::MemoryBus, 8);
+        rtUs("NI2w", NiPlacement::MemoryBus, 8) /
+        rtUs("CNI512Q", NiPlacement::MemoryBus, 8);
     const double large =
-        rtUs(NiModel::NI2w, NiPlacement::MemoryBus, 256) /
-        rtUs(NiModel::CNI512Q, NiPlacement::MemoryBus, 256);
+        rtUs("NI2w", NiPlacement::MemoryBus, 256) /
+        rtUs("CNI512Q", NiPlacement::MemoryBus, 256);
     EXPECT_GT(small, 1.0);
     EXPECT_GT(large, small);
     EXPECT_GT(large, 1.5);
@@ -63,10 +72,10 @@ TEST(PaperShapes, CqCnisHaveLowestLatency)
     // Section 5.1.1: CNI16Q/CNI512Q lowest; CNI4 worst of the CNIs
     // (uncached status polls + three-cycle handshake); CNI16Qm slightly
     // above the device-homed queues (overflow flushes).
-    const double cni4 = rtUs(NiModel::CNI4, NiPlacement::MemoryBus, 128);
-    const double q16 = rtUs(NiModel::CNI16Q, NiPlacement::MemoryBus, 128);
-    const double q512 = rtUs(NiModel::CNI512Q, NiPlacement::MemoryBus, 128);
-    const double qm = rtUs(NiModel::CNI16Qm, NiPlacement::MemoryBus, 128);
+    const double cni4 = rtUs("CNI4", NiPlacement::MemoryBus, 128);
+    const double q16 = rtUs("CNI16Q", NiPlacement::MemoryBus, 128);
+    const double q512 = rtUs("CNI512Q", NiPlacement::MemoryBus, 128);
+    const double qm = rtUs("CNI16Qm", NiPlacement::MemoryBus, 128);
     EXPECT_LT(q512, cni4);
     EXPECT_LT(q16, cni4);
     EXPECT_LT(q512, qm);
@@ -74,19 +83,19 @@ TEST(PaperShapes, CqCnisHaveLowestLatency)
 
 TEST(PaperShapes, CacheBusNi2wIsTheLatencyUpperBound)
 {
-    const double cache = rtUs(NiModel::NI2w, NiPlacement::CacheBus, 64);
-    EXPECT_LT(cache, rtUs(NiModel::CNI16Qm, NiPlacement::MemoryBus, 64));
-    EXPECT_LT(cache, rtUs(NiModel::NI2w, NiPlacement::MemoryBus, 64));
+    const double cache = rtUs("NI2w", NiPlacement::CacheBus, 64);
+    EXPECT_LT(cache, rtUs("CNI16Qm", NiPlacement::MemoryBus, 64));
+    EXPECT_LT(cache, rtUs("NI2w", NiPlacement::MemoryBus, 64));
 }
 
 TEST(PaperShapes, BandwidthCnisBeatNi2wSubstantially)
 {
     // Abstract: +125% (memory bus) and +123% (I/O bus) at 64 bytes; we
     // require at least +50% and +80% respectively.
-    const double mem64 = bwMBps(NiModel::CNI16Qm, NiPlacement::MemoryBus, 64) /
-                         bwMBps(NiModel::NI2w, NiPlacement::MemoryBus, 64);
-    const double io64 = bwMBps(NiModel::CNI512Q, NiPlacement::IoBus, 64) /
-                        bwMBps(NiModel::NI2w, NiPlacement::IoBus, 64);
+    const double mem64 = bwMBps("CNI16Qm", NiPlacement::MemoryBus, 64) /
+                         bwMBps("NI2w", NiPlacement::MemoryBus, 64);
+    const double io64 = bwMBps("CNI512Q", NiPlacement::IoBus, 64) /
+                        bwMBps("NI2w", NiPlacement::IoBus, 64);
     EXPECT_GT(mem64, 1.5);
     EXPECT_GT(io64, 1.8);
 }
@@ -95,14 +104,14 @@ TEST(PaperShapes, Ni2wBandwidthSaturatesEarly)
 {
     // Figure 7: NI2w's uncached word transfers cap its bandwidth; large
     // messages gain little over 256-byte ones.
-    const double at256 = bwMBps(NiModel::NI2w, NiPlacement::MemoryBus, 256);
-    const double at4096 = bwMBps(NiModel::NI2w, NiPlacement::MemoryBus, 4096);
+    const double at256 = bwMBps("NI2w", NiPlacement::MemoryBus, 256);
+    const double at4096 = bwMBps("NI2w", NiPlacement::MemoryBus, 4096);
     EXPECT_LT(at4096 / at256, 1.25);
     // While CNI512Q keeps scaling past 256 bytes.
     const double cni256 =
-        bwMBps(NiModel::CNI512Q, NiPlacement::MemoryBus, 256);
+        bwMBps("CNI512Q", NiPlacement::MemoryBus, 256);
     const double cni4096 =
-        bwMBps(NiModel::CNI512Q, NiPlacement::MemoryBus, 4096);
+        bwMBps("CNI512Q", NiPlacement::MemoryBus, 4096);
     EXPECT_GT(cni4096 / cni256, 1.15);
 }
 
@@ -110,12 +119,14 @@ TEST(PaperShapes, SnarfingImprovesQmBandwidth)
 {
     // Section 5.1.2: data snarfing improves CNI16Qm bandwidth by as much
     // as 45% (it eliminates receive-queue invalidation misses).
-    SystemConfig plain(NiModel::CNI16Qm, NiPlacement::MemoryBus);
-    SystemConfig snarf(NiModel::CNI16Qm, NiPlacement::MemoryBus);
-    plain.numNodes = snarf.numNodes = 2;
-    snarf.snarfing = true;
-    const double a = streamBandwidth(plain, 2048, 48).megabytesPerSec;
-    const double b = streamBandwidth(snarf, 2048, 48).megabytesPerSec;
+    const double a =
+        streamBandwidth(twoNode("CNI16Qm", NiPlacement::MemoryBus), 2048,
+                        48)
+            .megabytesPerSec;
+    const double b =
+        streamBandwidth(twoNode("CNI16Qm", NiPlacement::MemoryBus, true),
+                        2048, 48)
+            .megabytesPerSec;
     EXPECT_GT(b, a * 1.15);
 }
 
@@ -126,13 +137,13 @@ TEST(PaperShapes, MacroCqCnisReduceMemoryBusOccupancy)
     double cqSum = 0, cni4Sum = 0;
     int n = 0;
     for (const char *app : {"em3d", "moldyn"}) {
-        SystemConfig base(NiModel::NI2w, NiPlacement::MemoryBus);
-        SystemConfig cq(NiModel::CNI512Q, NiPlacement::MemoryBus);
-        SystemConfig c4(NiModel::CNI4, NiPlacement::MemoryBus);
-        const double b =
-            double(runMacrobenchmark(app, base).memBusOccupied);
-        cqSum += runMacrobenchmark(app, cq).memBusOccupied / b;
-        cni4Sum += runMacrobenchmark(app, c4).memBusOccupied / b;
+        auto spec = [](const char *ni) {
+            return Machine::describe().ni(ni).spec();
+        };
+        const double b = double(
+            runMacrobenchmark(app, spec("NI2w")).memBusOccupied);
+        cqSum += runMacrobenchmark(app, spec("CNI512Q")).memBusOccupied / b;
+        cni4Sum += runMacrobenchmark(app, spec("CNI4")).memBusOccupied / b;
         ++n;
     }
     EXPECT_LT(cqSum / n, 0.60);   // >= 40% occupancy reduction
@@ -145,10 +156,10 @@ TEST(PaperShapes, MacroCnisImproveBulkApps)
     // Figure 8: gauss and moldyn (bulk transfers) gain the most from
     // block-granularity NI access.
     for (const char *app : {"gauss", "moldyn"}) {
-        SystemConfig base(NiModel::NI2w, NiPlacement::MemoryBus);
-        SystemConfig qm(NiModel::CNI16Qm, NiPlacement::MemoryBus);
-        const Tick tBase = runMacrobenchmark(app, base).ticks;
-        const Tick tQm = runMacrobenchmark(app, qm).ticks;
+        const Tick tBase = runMacrobenchmark(
+            app, Machine::describe().ni("NI2w").spec()).ticks;
+        const Tick tQm = runMacrobenchmark(
+            app, Machine::describe().ni("CNI16Qm").spec()).ticks;
         EXPECT_GT(double(tBase) / tQm, 1.4) << app;
     }
 }
@@ -157,16 +168,20 @@ TEST(PaperShapes, IoBusCniGainsExceedMemoryBusGains)
 {
     // Abstract: 17-53% on the memory bus vs 30-88% on the I/O bus.
     for (const char *app : {"em3d", "appbt"}) {
-        SystemConfig memBase(NiModel::NI2w, NiPlacement::MemoryBus);
-        SystemConfig memCni(NiModel::CNI512Q, NiPlacement::MemoryBus);
-        SystemConfig ioBase(NiModel::NI2w, NiPlacement::IoBus);
-        SystemConfig ioCni(NiModel::CNI512Q, NiPlacement::IoBus);
+        auto spec = [](const char *ni, NiPlacement p) {
+            return Machine::describe().ni(ni).placement(p).spec();
+        };
         const double memGain =
-            double(runMacrobenchmark(app, memBase).ticks) /
-            runMacrobenchmark(app, memCni).ticks;
+            double(runMacrobenchmark(
+                       app, spec("NI2w", NiPlacement::MemoryBus))
+                       .ticks) /
+            runMacrobenchmark(app, spec("CNI512Q", NiPlacement::MemoryBus))
+                .ticks;
         const double ioGain =
-            double(runMacrobenchmark(app, ioBase).ticks) /
-            runMacrobenchmark(app, ioCni).ticks;
+            double(runMacrobenchmark(app, spec("NI2w", NiPlacement::IoBus))
+                       .ticks) /
+            runMacrobenchmark(app, spec("CNI512Q", NiPlacement::IoBus))
+                .ticks;
         EXPECT_GT(ioGain, 1.2) << app;
         EXPECT_GT(ioGain, memGain * 0.95) << app;
     }

@@ -1,16 +1,18 @@
 /**
  * @file
  * End-to-end integration tests: active-message ping-pong over every valid
- * NI/placement configuration, verifying delivery, payload integrity, and
- * forward progress.
+ * NI/placement configuration — built through the MachineBuilder API and
+ * the Endpoint messaging facade — verifying delivery, payload integrity,
+ * and forward progress.
  */
 
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <string>
 #include <vector>
 
-#include "core/system.hpp"
+#include "core/machine.hpp"
 
 namespace cni
 {
@@ -25,56 +27,66 @@ struct PingPongFixtureState
 };
 
 CoTask<void>
-pinger(MsgLayer &msg, PingPongFixtureState &st, int rounds,
+pinger(Endpoint &ep, PingPongFixtureState &st, int rounds,
        std::size_t bytes)
 {
     std::vector<std::uint8_t> payload(bytes);
     std::iota(payload.begin(), payload.end(), 1);
     for (int r = 0; r < rounds; ++r) {
-        co_await msg.send(1, /*handler=*/1, payload.data(), payload.size());
+        co_await ep.send(1, /*port=*/1, payload.data(), payload.size());
         const int want = r + 1;
-        co_await msg.pollUntil([&] { return st.pongsSeen >= want; });
+        co_await ep.pollUntil([&] { return st.pongsSeen >= want; });
     }
 }
 
 CoTask<void>
-ponger(MsgLayer &msg, PingPongFixtureState &st, int rounds)
+ponger(Endpoint &ep, PingPongFixtureState &st, int rounds)
 {
-    co_await msg.pollUntil([&] { return st.pingsSeen >= rounds; });
+    co_await ep.pollUntil([&] { return st.pingsSeen >= rounds; });
 }
 
 /** Run `rounds` ping-pongs of `bytes`-byte messages; return final tick. */
 Tick
-runPingPong(const SystemConfig &cfg, int rounds, std::size_t bytes,
+runPingPong(const MachineSpec &spec, int rounds, std::size_t bytes,
             PingPongFixtureState &st)
 {
-    System sys(cfg);
-    auto &m0 = sys.msg(0);
-    auto &m1 = sys.msg(1);
+    Machine sys(spec);
+    Endpoint &e0 = sys.endpoint(0);
+    Endpoint &e1 = sys.endpoint(1);
 
     // Node 1: echo each ping back as a pong.
-    m1.registerHandler(1, [&](const UserMsg &u) -> CoTask<void> {
+    e1.onMessage(1, [&](const UserMsg &u) -> CoTask<void> {
         ++st.pingsSeen;
         st.lastPayload = u.payload;
-        co_await m1.send(0, 2, u.payload.data(), u.payload.size());
+        co_await e1.send(0, 2, u.payload.data(), u.payload.size());
     });
     // Node 0: count pongs.
-    m0.registerHandler(2, [&](const UserMsg &u) -> CoTask<void> {
+    e0.onMessage(2, [&](const UserMsg &u) -> CoTask<void> {
         ++st.pongsSeen;
         st.lastPayload = u.payload;
         co_return;
     });
 
-    sys.spawn(0, pinger(m0, st, rounds, bytes));
-    sys.spawn(1, ponger(m1, st, rounds));
+    sys.spawn(0, pinger(e0, st, rounds, bytes));
+    sys.spawn(1, ponger(e1, st, rounds));
     return sys.run();
 }
 
 struct ConfigCase
 {
-    NiModel ni;
+    const char *ni;
     NiPlacement placement;
 };
+
+MachineSpec
+twoNode(const ConfigCase &pc)
+{
+    return Machine::describe()
+        .nodes(2)
+        .ni(pc.ni)
+        .placement(pc.placement)
+        .spec();
+}
 
 class PingPongAllConfigs : public ::testing::TestWithParam<ConfigCase>
 {
@@ -82,11 +94,9 @@ class PingPongAllConfigs : public ::testing::TestWithParam<ConfigCase>
 
 TEST_P(PingPongAllConfigs, DeliversIntactPayloads)
 {
-    const auto &pc = GetParam();
-    SystemConfig cfg(pc.ni, pc.placement);
-    cfg.numNodes = 2;
     PingPongFixtureState st;
-    const Tick t = runPingPong(cfg, /*rounds=*/5, /*bytes=*/64, st);
+    const Tick t = runPingPong(twoNode(GetParam()), /*rounds=*/5,
+                               /*bytes=*/64, st);
     EXPECT_EQ(st.pingsSeen, 5);
     EXPECT_EQ(st.pongsSeen, 5);
     ASSERT_EQ(st.lastPayload.size(), 64u);
@@ -98,7 +108,7 @@ TEST_P(PingPongAllConfigs, DeliversIntactPayloads)
 std::string
 caseName(const ::testing::TestParamInfo<ConfigCase> &info)
 {
-    std::string s = toString(info.param.ni);
+    std::string s = info.param.ni;
     s += "_";
     s += toString(info.param.placement);
     for (auto &ch : s)
@@ -109,17 +119,16 @@ caseName(const ::testing::TestParamInfo<ConfigCase> &info)
 
 INSTANTIATE_TEST_SUITE_P(
     AllValid, PingPongAllConfigs,
-    ::testing::Values(
-        ConfigCase{NiModel::NI2w, NiPlacement::CacheBus},
-        ConfigCase{NiModel::NI2w, NiPlacement::MemoryBus},
-        ConfigCase{NiModel::NI2w, NiPlacement::IoBus},
-        ConfigCase{NiModel::CNI4, NiPlacement::MemoryBus},
-        ConfigCase{NiModel::CNI4, NiPlacement::IoBus},
-        ConfigCase{NiModel::CNI16Q, NiPlacement::MemoryBus},
-        ConfigCase{NiModel::CNI16Q, NiPlacement::IoBus},
-        ConfigCase{NiModel::CNI512Q, NiPlacement::MemoryBus},
-        ConfigCase{NiModel::CNI512Q, NiPlacement::IoBus},
-        ConfigCase{NiModel::CNI16Qm, NiPlacement::MemoryBus}),
+    ::testing::Values(ConfigCase{"NI2w", NiPlacement::CacheBus},
+                      ConfigCase{"NI2w", NiPlacement::MemoryBus},
+                      ConfigCase{"NI2w", NiPlacement::IoBus},
+                      ConfigCase{"CNI4", NiPlacement::MemoryBus},
+                      ConfigCase{"CNI4", NiPlacement::IoBus},
+                      ConfigCase{"CNI16Q", NiPlacement::MemoryBus},
+                      ConfigCase{"CNI16Q", NiPlacement::IoBus},
+                      ConfigCase{"CNI512Q", NiPlacement::MemoryBus},
+                      ConfigCase{"CNI512Q", NiPlacement::IoBus},
+                      ConfigCase{"CNI16Qm", NiPlacement::MemoryBus}),
     caseName);
 
 class PingPongSizes : public ::testing::TestWithParam<std::size_t>
@@ -128,14 +137,12 @@ class PingPongSizes : public ::testing::TestWithParam<std::size_t>
 
 TEST_P(PingPongSizes, MultiFragmentMessagesReassemble)
 {
-    SystemConfig cfg(NiModel::CNI512Q, NiPlacement::MemoryBus);
-    cfg.numNodes = 2;
     PingPongFixtureState st;
     const std::size_t bytes = GetParam();
-    System sys(cfg);
-    auto &m0 = sys.msg(0);
-    auto &m1 = sys.msg(1);
-    m1.registerHandler(1, [&](const UserMsg &u) -> CoTask<void> {
+    Machine sys = Machine::describe().nodes(2).ni("CNI512Q").build();
+    Endpoint &e0 = sys.endpoint(0);
+    Endpoint &e1 = sys.endpoint(1);
+    e1.onMessage(1, [&](const UserMsg &u) -> CoTask<void> {
         ++st.pingsSeen;
         st.lastPayload = u.payload;
         co_return;
@@ -143,11 +150,11 @@ TEST_P(PingPongSizes, MultiFragmentMessagesReassemble)
     std::vector<std::uint8_t> payload(bytes);
     for (std::size_t i = 0; i < bytes; ++i)
         payload[i] = static_cast<std::uint8_t>(i * 7 + 3);
-    sys.spawn(0, [](MsgLayer &m, std::vector<std::uint8_t> &p)
+    sys.spawn(0, [](Endpoint &ep, std::vector<std::uint8_t> &p)
                   -> CoTask<void> {
-        co_await m.send(1, 1, p.data(), p.size());
-    }(m0, payload));
-    sys.spawn(1, ponger(m1, st, 1));
+        co_await ep.send(1, 1, p.data(), p.size());
+    }(e0, payload));
+    sys.spawn(1, ponger(e1, st, 1));
     sys.run();
     ASSERT_EQ(st.lastPayload.size(), bytes);
     EXPECT_EQ(st.lastPayload, payload);
@@ -163,25 +170,22 @@ INSTANTIATE_TEST_SUITE_P(Sizes, PingPongSizes,
 TEST(PingPong, CniIsFasterThanNi2wOnMemoryBus)
 {
     PingPongFixtureState a, b;
-    SystemConfig ni2w(NiModel::NI2w, NiPlacement::MemoryBus);
-    ni2w.numNodes = 2;
-    SystemConfig cniq(NiModel::CNI512Q, NiPlacement::MemoryBus);
-    cniq.numNodes = 2;
-    const Tick tNi = runPingPong(ni2w, 10, 64, a);
-    const Tick tCni = runPingPong(cniq, 10, 64, b);
+    const Tick tNi = runPingPong(
+        twoNode({"NI2w", NiPlacement::MemoryBus}), 10, 64, a);
+    const Tick tCni = runPingPong(
+        twoNode({"CNI512Q", NiPlacement::MemoryBus}), 10, 64, b);
     EXPECT_LT(tCni, tNi);
 }
 
 TEST(PingPong, CacheBusIsFastestForNi2w)
 {
     PingPongFixtureState a, b, c;
-    SystemConfig cache(NiModel::NI2w, NiPlacement::CacheBus);
-    SystemConfig mem(NiModel::NI2w, NiPlacement::MemoryBus);
-    SystemConfig io(NiModel::NI2w, NiPlacement::IoBus);
-    cache.numNodes = mem.numNodes = io.numNodes = 2;
-    const Tick tc = runPingPong(cache, 10, 64, a);
-    const Tick tm = runPingPong(mem, 10, 64, b);
-    const Tick ti = runPingPong(io, 10, 64, c);
+    const Tick tc = runPingPong(
+        twoNode({"NI2w", NiPlacement::CacheBus}), 10, 64, a);
+    const Tick tm = runPingPong(
+        twoNode({"NI2w", NiPlacement::MemoryBus}), 10, 64, b);
+    const Tick ti = runPingPong(
+        twoNode({"NI2w", NiPlacement::IoBus}), 10, 64, c);
     EXPECT_LT(tc, tm);
     EXPECT_LT(tm, ti);
 }

@@ -8,35 +8,33 @@
 
 #include <numeric>
 
-#include "core/system.hpp"
+#include "core/machine.hpp"
 
 namespace cni
 {
 namespace
 {
 
-SystemConfig
-smallConfig(NiModel m = NiModel::CNI16Q, int nodes = 4)
+MachineSpec
+smallSpec(const char *m = "CNI16Q", int nodes = 4)
 {
-    SystemConfig cfg(m, NiPlacement::MemoryBus);
-    cfg.numNodes = nodes;
-    return cfg;
+    return Machine::describe().nodes(nodes).ni(m).spec();
 }
 
 TEST(MsgLayer, UserTagTravelsWithTheMessage)
 {
-    System sys(smallConfig());
+    Machine sys(smallSpec());
     std::uint64_t seen = 0;
     sys.msg(1).registerHandler(5, [&](const UserMsg &u) -> CoTask<void> {
         seen = u.userTag;
         co_return;
     });
     bool done = false;
-    sys.spawn(0, [](System &sys, bool &done) -> CoTask<void> {
+    sys.spawn(0, [](Machine &sys, bool &done) -> CoTask<void> {
         co_await sys.msg(0).send(1, 5, 0xdeadbeefULL);
         done = true;
     }(sys, done));
-    sys.spawn(1, [](System &sys, std::uint64_t *seen) -> CoTask<void> {
+    sys.spawn(1, [](Machine &sys, std::uint64_t *seen) -> CoTask<void> {
         co_await sys.msg(1).pollUntil([=] { return *seen != 0; });
     }(sys, &seen));
     sys.run();
@@ -45,7 +43,7 @@ TEST(MsgLayer, UserTagTravelsWithTheMessage)
 
 TEST(MsgLayer, LargeMessageFragmentsAndReassembles)
 {
-    System sys(smallConfig(NiModel::CNI512Q));
+    Machine sys(smallSpec("CNI512Q"));
     std::vector<std::uint8_t> got;
     sys.msg(2).registerHandler(6, [&](const UserMsg &u) -> CoTask<void> {
         got = u.payload;
@@ -53,11 +51,11 @@ TEST(MsgLayer, LargeMessageFragmentsAndReassembles)
     });
     std::vector<std::uint8_t> payload(3000);
     std::iota(payload.begin(), payload.end(), 0);
-    sys.spawn(0, [](System &sys, std::vector<std::uint8_t> &p)
+    sys.spawn(0, [](Machine &sys, std::vector<std::uint8_t> &p)
                   -> CoTask<void> {
         co_await sys.msg(0).send(2, 6, p.data(), p.size());
     }(sys, payload));
-    sys.spawn(2, [](System &sys, std::vector<std::uint8_t> *got)
+    sys.spawn(2, [](Machine &sys, std::vector<std::uint8_t> *got)
                   -> CoTask<void> {
         co_await sys.msg(2).pollUntil([=] { return !got->empty(); });
     }(sys, &got));
@@ -67,7 +65,7 @@ TEST(MsgLayer, LargeMessageFragmentsAndReassembles)
 
 TEST(MsgLayer, InterleavedSendersReassembleIndependently)
 {
-    System sys(smallConfig(NiModel::CNI512Q));
+    Machine sys(smallSpec("CNI512Q"));
     int received = 0;
     bool ok = true;
     sys.msg(3).registerHandler(7, [&](const UserMsg &u) -> CoTask<void> {
@@ -78,13 +76,13 @@ TEST(MsgLayer, InterleavedSendersReassembleIndependently)
         co_return;
     });
     for (NodeId s : {0, 1, 2}) {
-        sys.spawn(s, [](System &sys, NodeId s) -> CoTask<void> {
+        sys.spawn(s, [](Machine &sys, NodeId s) -> CoTask<void> {
             std::vector<std::uint8_t> p(1000, std::uint8_t(s));
             for (int i = 0; i < 3; ++i)
                 co_await sys.msg(s).send(3, 7, p.data(), p.size());
         }(sys, s));
     }
-    sys.spawn(3, [](System &sys, int *received) -> CoTask<void> {
+    sys.spawn(3, [](Machine &sys, int *received) -> CoTask<void> {
         co_await sys.msg(3).pollUntil([=] { return *received >= 9; });
     }(sys, &received));
     sys.run();
@@ -94,7 +92,7 @@ TEST(MsgLayer, InterleavedSendersReassembleIndependently)
 
 TEST(MsgLayer, HandlersCanSendReplies)
 {
-    System sys(smallConfig());
+    Machine sys(smallSpec());
     int acks = 0;
     sys.msg(1).registerHandler(8, [&](const UserMsg &u) -> CoTask<void> {
         co_await sys.msg(1).send(u.src, 9);
@@ -103,12 +101,12 @@ TEST(MsgLayer, HandlersCanSendReplies)
         ++acks;
         co_return;
     });
-    sys.spawn(0, [](System &sys, int *acks) -> CoTask<void> {
+    sys.spawn(0, [](Machine &sys, int *acks) -> CoTask<void> {
         for (int i = 0; i < 4; ++i)
             co_await sys.msg(0).send(1, 8);
         co_await sys.msg(0).pollUntil([=] { return *acks >= 4; });
     }(sys, &acks));
-    sys.spawn(1, [](System &sys, int *acks) -> CoTask<void> {
+    sys.spawn(1, [](Machine &sys, int *acks) -> CoTask<void> {
         co_await sys.msg(1).pollUntil([=] { return *acks >= 4; });
     }(sys, &acks));
     sys.run();
@@ -119,8 +117,7 @@ TEST(MsgLayer, ManyToOneBurstTriggersSoftwareFlowControl)
 {
     // Every node floods node 0 while node 0 itself is trying to send:
     // the blocked sends must drain incoming traffic rather than deadlock.
-    SystemConfig cfg = smallConfig(NiModel::CNI16Q, 8);
-    System sys(cfg);
+    Machine sys(smallSpec("CNI16Q", 8));
     int got = 0;
     int got0 = 0;
     for (NodeId n = 0; n < 8; ++n) {
@@ -135,7 +132,7 @@ TEST(MsgLayer, ManyToOneBurstTriggersSoftwareFlowControl)
     }
     const int kPer = 20;
     for (NodeId s = 1; s < 8; ++s) {
-        sys.spawn(s, [](System &sys, NodeId s) -> CoTask<void> {
+        sys.spawn(s, [](Machine &sys, NodeId s) -> CoTask<void> {
             std::uint8_t p[64] = {};
             for (int i = 0; i < kPer; ++i)
                 co_await sys.msg(s).send(0, 10, p, sizeof(p));
@@ -143,7 +140,7 @@ TEST(MsgLayer, ManyToOneBurstTriggersSoftwareFlowControl)
             co_await sys.msg(s).poll();
         }(sys, s));
     }
-    sys.spawn(0, [](System &sys, int *got) -> CoTask<void> {
+    sys.spawn(0, [](Machine &sys, int *got) -> CoTask<void> {
         std::uint8_t p[64] = {};
         for (int i = 0; i < 10; ++i)
             co_await sys.msg(0).send(1 + (i % 7), 10, p, sizeof(p));
@@ -156,18 +153,18 @@ TEST(MsgLayer, ManyToOneBurstTriggersSoftwareFlowControl)
 
 TEST(MsgLayer, ZeroByteControlMessages)
 {
-    System sys(smallConfig());
+    Machine sys(smallSpec());
     int pings = 0;
     sys.msg(1).registerHandler(11, [&](const UserMsg &u) -> CoTask<void> {
         EXPECT_TRUE(u.payload.empty());
         ++pings;
         co_return;
     });
-    sys.spawn(0, [](System &sys) -> CoTask<void> {
+    sys.spawn(0, [](Machine &sys) -> CoTask<void> {
         for (int i = 0; i < 5; ++i)
             co_await sys.msg(0).send(1, 11);
     }(sys));
-    sys.spawn(1, [](System &sys, int *pings) -> CoTask<void> {
+    sys.spawn(1, [](Machine &sys, int *pings) -> CoTask<void> {
         co_await sys.msg(1).pollUntil([=] { return *pings >= 5; });
     }(sys, &pings));
     sys.run();

@@ -7,7 +7,8 @@
 
 #include <gtest/gtest.h>
 
-#include "core/system.hpp"
+#include "core/machine.hpp"
+#include "ni/registry.hpp"
 #include "ni/cniq.hpp"
 
 namespace cni
@@ -17,21 +18,17 @@ namespace
 
 struct NiRig
 {
-    System sys;
+    Machine sys;
 
-    explicit NiRig(NiModel m, NiPlacement p = NiPlacement::MemoryBus,
+    explicit NiRig(const char *m, NiPlacement p = NiPlacement::MemoryBus,
                    bool snarf = false)
-        : sys(makeCfg(m, p, snarf))
+        : sys(Machine::describe()
+                  .nodes(2)
+                  .ni(m)
+                  .placement(p)
+                  .snarfing(snarf)
+                  .spec())
     {
-    }
-
-    static SystemConfig
-    makeCfg(NiModel m, NiPlacement p, bool snarf)
-    {
-        SystemConfig cfg(m, p);
-        cfg.numNodes = 2;
-        cfg.snarfing = snarf;
-        return cfg;
     }
 
     /** Cost in cycles of one empty receive poll on node 0. */
@@ -40,7 +37,7 @@ struct NiRig
     {
         Tick cost = 0;
         TaskGroup group(sys.eq());
-        group.spawn([](System &sys, Tick &cost) -> CoTask<void> {
+        group.spawn([](Machine &sys, Tick &cost) -> CoTask<void> {
             NetMsg m;
             const Tick start = sys.eq().now();
             bool got = co_await sys.ni(0).tryRecv(sys.proc(0), m, 0);
@@ -54,19 +51,19 @@ struct NiRig
 
 TEST(NiUnits, Ni2wEmptyPollCostsAnUncachedLoad)
 {
-    NiRig rig(NiModel::NI2w);
+    NiRig rig("NI2w");
     EXPECT_EQ(rig.emptyPollCost(), 28u); // Table 2 uncached load
 }
 
 TEST(NiUnits, Ni2wEmptyPollOnIoBusCostsMore)
 {
-    NiRig rig(NiModel::NI2w, NiPlacement::IoBus);
+    NiRig rig("NI2w", NiPlacement::IoBus);
     EXPECT_EQ(rig.emptyPollCost(), 48u);
 }
 
 TEST(NiUnits, Cni4EmptyPollCostsAnUncachedLoad)
 {
-    NiRig rig(NiModel::CNI4);
+    NiRig rig("CNI4");
     EXPECT_EQ(rig.emptyPollCost(), 28u);
 }
 
@@ -75,10 +72,10 @@ TEST(NiUnits, CniqEmptyPollHitsInCache)
     // The whole point of message valid bits: polling an empty queue is a
     // couple of cache hits, not a bus transaction. The very first poll
     // faults the header block in; steady-state polls are cheap.
-    NiRig rig(NiModel::CNI512Q);
+    NiRig rig("CNI512Q");
     Tick first = 0, second = 0;
     TaskGroup group(rig.sys.eq());
-    group.spawn([](System &sys, Tick &first, Tick &second) -> CoTask<void> {
+    group.spawn([](Machine &sys, Tick &first, Tick &second) -> CoTask<void> {
         NetMsg m;
         Tick start = sys.eq().now();
         co_await sys.ni(0).tryRecv(sys.proc(0), m, 0);
@@ -94,9 +91,9 @@ TEST(NiUnits, CniqEmptyPollHitsInCache)
 
 TEST(NiUnits, CniqSendSignalsWithOneUncachedStore)
 {
-    NiRig rig(NiModel::CNI512Q);
+    NiRig rig("CNI512Q");
     TaskGroup group(rig.sys.eq());
-    group.spawn([](System &sys) -> CoTask<void> {
+    group.spawn([](Machine &sys) -> CoTask<void> {
         NetMsg m;
         m.src = 0;
         m.dst = 1;
@@ -113,9 +110,9 @@ TEST(NiUnits, CniqShadowRefreshOnlyWhenQueueLooksFull)
 {
     // Lazy pointers (Section 2.2): sending 3 messages into a 4-slot
     // send queue costs zero shadow refreshes; the 5th send needs one.
-    NiRig rig(NiModel::CNI16Q); // 16 blocks = 4 slots
+    NiRig rig("CNI16Q"); // 16 blocks = 4 slots
     TaskGroup group(rig.sys.eq());
-    group.spawn([](System &sys) -> CoTask<void> {
+    group.spawn([](Machine &sys) -> CoTask<void> {
         for (int i = 0; i < 3; ++i) {
             NetMsg m;
             m.src = 0;
@@ -132,9 +129,9 @@ TEST(NiUnits, CniqVirtualPollingTriggersOnSecondBlock)
 {
     // Writing a 2-block message must let the device pull block 0 before
     // the message-ready signal (the block-1 invalidation is the proof).
-    NiRig rig(NiModel::CNI512Q);
+    NiRig rig("CNI512Q");
     TaskGroup group(rig.sys.eq());
-    group.spawn([](System &sys) -> CoTask<void> {
+    group.spawn([](Machine &sys) -> CoTask<void> {
         NetMsg m;
         m.src = 0;
         m.dst = 1;
@@ -149,9 +146,9 @@ TEST(NiUnits, CniqmOverflowWritesBackToMemory)
 {
     // Flood node 1 without letting it consume: the 16-block device cache
     // must spill older slots to main memory automatically.
-    NiRig rig(NiModel::CNI16Qm);
+    NiRig rig("CNI16Qm");
     int sent = 0;
-    rig.sys.spawn(0, [](System &sys, int &sent) -> CoTask<void> {
+    rig.sys.spawn(0, [](Machine &sys, int &sent) -> CoTask<void> {
         std::uint8_t p[200];
         for (int i = 0; i < 12; ++i) {
             co_await sys.msg(0).send(1, 1, p, sizeof(p));
@@ -172,10 +169,10 @@ TEST(NiUnits, CniqmOverflowWritesBackToMemory)
 
 TEST(NiUnits, CniqRejectsWhenSendQueueFull)
 {
-    NiRig rig(NiModel::CNI16Q); // 4 send slots
+    NiRig rig("CNI16Q"); // 4 send slots
     int accepted = 0;
     TaskGroup group(rig.sys.eq());
-    group.spawn([](System &sys, int &accepted) -> CoTask<void> {
+    group.spawn([](Machine &sys, int &accepted) -> CoTask<void> {
         // Fill the send queue faster than the device can drain (the
         // destination's receive side is never polled, so the window and
         // queue back up).
@@ -193,28 +190,13 @@ TEST(NiUnits, CniqRejectsWhenSendQueueFull)
     EXPECT_GT(rig.sys.ni(0).stats().counter("send_full"), 0u);
 }
 
-TEST(NiUnits, InvalidPlacementsAreRejected)
-{
-    std::string why;
-    SystemConfig a(NiModel::CNI16Qm, NiPlacement::IoBus);
-    EXPECT_FALSE(a.valid(&why));
-    SystemConfig b(NiModel::CNI4, NiPlacement::CacheBus);
-    EXPECT_FALSE(b.valid(&why));
-    SystemConfig c(NiModel::NI2w, NiPlacement::CacheBus);
-    c.snarfing = true;
-    EXPECT_FALSE(c.valid(&why));
-    SystemConfig d(NiModel::CNI512Q, NiPlacement::IoBus);
-    EXPECT_TRUE(d.valid(&why));
-}
-
 TEST(NiUnits, TaxonomyLabelsMatchDevices)
 {
     for (NiModel m : kAllNiModels) {
         if (m == NiModel::NI2w)
             continue;
-        SystemConfig cfg(m, NiPlacement::MemoryBus);
-        cfg.numNodes = 2;
-        System sys(cfg);
+        Machine sys =
+            Machine::describe().nodes(2).ni(toString(m)).build();
         EXPECT_EQ(sys.ni(0).modelName(), toString(m));
     }
 }

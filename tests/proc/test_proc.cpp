@@ -8,7 +8,7 @@
 
 #include "../test_util.hpp"
 #include "core/microbench.hpp"
-#include "core/system.hpp"
+#include "core/machine.hpp"
 
 namespace cni
 {
@@ -17,13 +17,12 @@ namespace
 
 struct ProcRig
 {
-    SystemConfig cfg{NiModel::CNI512Q, NiPlacement::MemoryBus};
-    std::unique_ptr<System> sys;
+    std::unique_ptr<Machine> sys;
 
     ProcRig()
     {
-        cfg.numNodes = 2;
-        sys = std::make_unique<System>(cfg);
+        sys = std::make_unique<Machine>(
+            Machine::describe().nodes(2).ni("CNI512Q").spec());
     }
 
     Proc &proc() { return sys->proc(0); }
@@ -130,21 +129,20 @@ TEST(Proc, NodesHaveIndependentAddressSpaces)
 
 /** Parameterized: round-trip latency grows monotonically with size. */
 class LatencyMonotonic
-    : public ::testing::TestWithParam<std::pair<NiModel, NiPlacement>>
+    : public ::testing::TestWithParam<std::pair<const char *, NiPlacement>>
 {
 };
 
 TEST_P(LatencyMonotonic, LatencyNonDecreasingInMessageSize)
 {
     const auto [m, p] = GetParam();
-    SystemConfig cfg(m, p);
-    cfg.numNodes = 2;
+    const MachineSpec spec =
+        Machine::describe().nodes(2).ni(m).placement(p).spec();
     double prev = 0;
     for (std::size_t sz : {8ul, 64ul, 256ul}) {
-        SystemConfig c = cfg;
         const double us =
-            roundTripLatency(c, sz, /*rounds=*/6).microseconds;
-        EXPECT_GE(us, prev * 0.98) << toString(m) << " @" << sz;
+            roundTripLatency(spec, sz, /*rounds=*/6).microseconds;
+        EXPECT_GE(us, prev * 0.98) << m << " @" << sz;
         prev = us;
     }
 }
@@ -152,11 +150,11 @@ TEST_P(LatencyMonotonic, LatencyNonDecreasingInMessageSize)
 INSTANTIATE_TEST_SUITE_P(
     Configs, LatencyMonotonic,
     ::testing::Values(
-        std::make_pair(NiModel::NI2w, NiPlacement::MemoryBus),
-        std::make_pair(NiModel::CNI4, NiPlacement::MemoryBus),
-        std::make_pair(NiModel::CNI512Q, NiPlacement::MemoryBus),
-        std::make_pair(NiModel::CNI16Qm, NiPlacement::MemoryBus),
-        std::make_pair(NiModel::CNI512Q, NiPlacement::IoBus)));
+        std::make_pair("NI2w", NiPlacement::MemoryBus),
+        std::make_pair("CNI4", NiPlacement::MemoryBus),
+        std::make_pair("CNI512Q", NiPlacement::MemoryBus),
+        std::make_pair("CNI16Qm", NiPlacement::MemoryBus),
+        std::make_pair("CNI512Q", NiPlacement::IoBus)));
 
 } // namespace
 } // namespace cni
