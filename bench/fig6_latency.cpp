@@ -27,12 +27,15 @@ namespace
 
 const std::vector<std::size_t> kSizes = {8, 16, 32, 64, 128, 256};
 
+const cli::Options *gOpts = nullptr;
+
 double
 measure(const std::string &ni, NiPlacement p, std::size_t bytes)
 {
-    const MachineSpec spec =
-        Machine::describe().nodes(2).ni(ni).placement(p).spec();
-    return roundTripLatency(spec, bytes).microseconds;
+    MachineBuilder b = Machine::describe().nodes(2).ni(ni).placement(p);
+    if (gOpts)
+        gOpts->applyNet(b);
+    return roundTripLatency(b.spec(), bytes).microseconds;
 }
 
 void
@@ -60,7 +63,8 @@ main(int argc, char **argv)
     setVerbose(false);
     const cli::Options opts = cli::parse(
         argc, argv,
-        "(fixed NI/placement sweep: only --json is honored)");
+        "(fixed NI/placement sweep: --net*/--window/--json honored)");
+    gOpts = &opts;
     std::printf("Figure 6: round-trip latency (microseconds)\n");
 
     panel("(a) memory bus", NiPlacement::MemoryBus,

@@ -27,16 +27,20 @@ namespace
 const std::vector<std::size_t> kSizes = {8,   16,  32,   64,   128,
                                          256, 512, 1024, 2048, 4096};
 
+const cli::Options *gOpts = nullptr;
+
 BandwidthResult
 measure(const std::string &ni, NiPlacement p, std::size_t bytes,
         bool snarf = false)
 {
-    const MachineSpec spec = Machine::describe()
-                                 .nodes(2)
-                                 .ni(ni)
-                                 .placement(p)
-                                 .snarfing(snarf)
-                                 .spec();
+    MachineBuilder b = Machine::describe()
+                           .nodes(2)
+                           .ni(ni)
+                           .placement(p)
+                           .snarfing(snarf);
+    if (gOpts)
+        gOpts->applyNet(b);
+    const MachineSpec spec = b.spec();
     // Keep total transferred bytes roughly constant across sizes.
     const int messages =
         std::max(24, static_cast<int>(64 * 1024 / std::max<std::size_t>(
@@ -52,7 +56,8 @@ main(int argc, char **argv)
     setVerbose(false);
     const cli::Options opts = cli::parse(
         argc, argv,
-        "(fixed NI/placement sweep: only --json is honored)");
+        "(fixed NI/placement sweep: --net*/--window/--json honored)");
+    gOpts = &opts;
     std::printf("Figure 7: bandwidth relative to local-queue max "
                 "(%.0f MB/s)\n",
                 kLocalQueueMaxMBps);

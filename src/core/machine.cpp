@@ -58,6 +58,10 @@ MachineSpec::label() const
     s += toString(placement);
     if (snarfing)
         s += "+snarf";
+    if (net.topology != "ideal") {
+        s += "/";
+        s += net.topology;
+    }
     return s;
 }
 
@@ -72,6 +76,30 @@ MachineSpec::valid(std::string *why) const
 
     if (numNodes < 1)
         return fail("a machine needs at least one node");
+
+    if (!NetRegistry::instance().known(net.topology)) {
+        return fail("unknown interconnect '" + net.topology +
+                    "' (registered models: " +
+                    NetRegistry::instance().namesCsv() + ")");
+    }
+    if (net.window < 1)
+        return fail("the sliding window needs at least one slot");
+    if (net.latency < 1 || net.hopLatency < 1)
+        return fail("fabric latencies must be at least one cycle");
+    if (net.retryInterval < 1)
+        return fail("the congested-receiver retry interval must be at "
+                    "least one cycle");
+    if (net.linkBw < 1)
+        return fail("link bandwidth must be at least one byte per cycle");
+    const bool dimmed = net.meshX > 0 || net.meshY > 0;
+    if (dimmed &&
+        (net.meshX < 1 || net.meshY < 1 ||
+         net.meshX * net.meshY != numNodes)) {
+        return fail("mesh dims " + std::to_string(net.meshX) + "x" +
+                    std::to_string(net.meshY) + " do not cover " +
+                    std::to_string(numNodes) + " nodes");
+    }
+
     if (!overrides.empty()) {
         const NodeId lo = overrides.begin()->first;
         const NodeId hi = overrides.rbegin()->first;
@@ -158,7 +186,8 @@ Machine::Machine(MachineSpec spec) : spec_(std::move(spec))
         cni_fatal("invalid machine description %s: %s",
                   spec_.label().c_str(), why.c_str());
 
-    net_ = std::make_unique<Network>(eq_, spec_.numNodes);
+    net_ = NetRegistry::instance().make(spec_.net.topology, eq_,
+                                        spec_.numNodes, spec_.net);
     group_ = std::make_unique<TaskGroup>(eq_);
 
     for (NodeId id = 0; id < spec_.numNodes; ++id) {
@@ -288,6 +317,24 @@ Machine::report() const
     }
     w.endArray();
     w.endObject(); // config
+
+    w.key("net").beginObject();
+    w.key("kind").value(net_->kind());
+    w.key("params").beginObject();
+    w.key("latency").value(std::uint64_t(spec_.net.latency));
+    w.key("window").value(spec_.net.window);
+    w.key("retry_interval").value(std::uint64_t(spec_.net.retryInterval));
+    w.key("hop_latency").value(std::uint64_t(spec_.net.hopLatency));
+    w.key("link_bw").value(std::uint64_t(spec_.net.linkBw));
+    w.key("blocked_send_backoff")
+        .value(std::uint64_t(spec_.net.blockedSendBackoff));
+    w.endObject();
+    w.key("delivery_retries")
+        .value(net_->stats().counter("delivery_retries"));
+    w.key("retry_wait_cycles")
+        .value(net_->stats().counter("retry_wait_cycles"));
+    net_->reportTopology(w); // model-specific: links, ports, dims
+    w.endObject(); // net
 
     w.key("runtime").beginObject();
     w.key("now_cycles").value(std::uint64_t(eq_.now()));

@@ -78,6 +78,7 @@ struct MachineSpec
     int numNodes = 16;
     NiPlacement placement = NiPlacement::MemoryBus;
     bool snarfing = false; //!< processor caches snarf writebacks (Qm)
+    NetParams net;         //!< interconnect model + runtime knobs
     NodeSpec defaults;
     std::map<NodeId, NodeOverride> overrides;
 
@@ -129,6 +130,73 @@ class MachineBuilder
 
     /** Placement by name: "memory"/"memory-bus", "io", "cache". */
     MachineBuilder &placement(const std::string &name);
+
+    // Interconnect ----------------------------------------------------------
+
+    /** Interconnect model by NetRegistry name: ideal|mesh|torus|xbar. */
+    MachineBuilder &
+    net(const std::string &topology)
+    {
+        spec_.net.topology = topology;
+        return *this;
+    }
+
+    /** Replace the whole parameter block (sweeps and ablations). */
+    MachineBuilder &
+    net(const NetParams &p)
+    {
+        spec_.net = p;
+        return *this;
+    }
+
+    /** Fabric latency in cycles (ideal end-to-end, crossbar transit). */
+    MachineBuilder &
+    netLatency(Tick cycles)
+    {
+        spec_.net.latency = cycles;
+        return *this;
+    }
+
+    /** Sliding-window depth per (source, destination) pair. */
+    MachineBuilder &
+    window(int depth)
+    {
+        spec_.net.window = depth;
+        return *this;
+    }
+
+    /** Link/port serialization bandwidth in bytes per cycle. */
+    MachineBuilder &
+    linkBandwidth(std::size_t bytesPerCycle)
+    {
+        spec_.net.linkBw = bytesPerCycle;
+        return *this;
+    }
+
+    /** Congested-receiver retry interval in cycles. */
+    MachineBuilder &
+    netRetry(Tick cycles)
+    {
+        spec_.net.retryInterval = cycles;
+        return *this;
+    }
+
+    /** Per-hop router + wire latency in cycles (mesh/torus). */
+    MachineBuilder &
+    hopLatency(Tick cycles)
+    {
+        spec_.net.hopLatency = cycles;
+        return *this;
+    }
+
+    /** Mesh/torus grid dimensions (must cover the node count). */
+    MachineBuilder &
+    meshDims(int x, int y)
+    {
+        spec_.net.meshX = x;
+        spec_.net.meshY = y;
+        return *this;
+    }
 
     /** Default user processes per node (CNIiQ family only). */
     MachineBuilder &

@@ -79,7 +79,7 @@ MsgLayer::drainWhileBlocked()
     if (!softwareDrains()) {
         // CNI16Qm: the device buffers receive overflow in main memory;
         // the processor just waits for send-queue space.
-        co_await p_.delay(8);
+        co_await p_.delay(ni_.netParams().blockedSendBackoff);
         co_return;
     }
     // Extract every pending incoming message into user-space buffers so
@@ -102,7 +102,7 @@ MsgLayer::drainWhileBlocked()
         stats_.incr("software_buffered");
     }
     if (!any)
-        co_await p_.delay(8);
+        co_await p_.delay(ni_.netParams().blockedSendBackoff);
 }
 
 CoTask<bool>

@@ -1,0 +1,15 @@
+#include "net/ideal.hpp"
+
+namespace cni::detail
+{
+
+void
+registerIdealNet(NetRegistry &r)
+{
+    r.register_("ideal",
+                [](EventQueue &eq, int n, const NetParams &p) {
+                    return std::make_unique<IdealNet>(eq, n, p);
+                });
+}
+
+} // namespace cni::detail

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * IdealNet — the paper's Section 4.1 fabric, and the default model.
+ *
+ * Topology is ignored: every network message takes NetParams::latency
+ * (default 100) processor cycles from injection of its last byte to
+ * arrival of its first byte, and the acknowledgment takes the same
+ * latency back. There is no contention inside the fabric; the only flow
+ * control is the end-point sliding window in the base class. With
+ * default NetParams this reproduces the original fixed-constant network
+ * cycle-for-cycle.
+ */
+
+#ifndef CNI_NET_IDEAL_HPP
+#define CNI_NET_IDEAL_HPP
+
+#include "net/network.hpp"
+
+namespace cni
+{
+
+class IdealNet : public Interconnect
+{
+  public:
+    IdealNet(EventQueue &eq, int numNodes, NetParams params = {})
+        : Interconnect(eq, numNodes, std::move(params))
+    {
+    }
+
+    const char *kind() const override { return "ideal"; }
+
+  protected:
+    Tick
+    routeDelay(const NetMsg &msg) override
+    {
+        (void)msg;
+        return params_.latency;
+    }
+};
+
+} // namespace cni
+
+#endif // CNI_NET_IDEAL_HPP

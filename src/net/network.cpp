@@ -1,21 +1,25 @@
 #include "net/network.hpp"
 
+#include "sim/json.hpp"
 #include "sim/logging.hpp"
 
 namespace cni
 {
 
-Network::Network(EventQueue &eq, int numNodes)
-    : eq_(eq), numNodes_(numNodes), ports_(numNodes, nullptr),
-      arrivalQ_(numNodes), pumping_(numNodes, false), stats_("network")
+Interconnect::Interconnect(EventQueue &eq, int numNodes, NetParams params)
+    : eq_(eq), params_(std::move(params)), stats_("network"),
+      numNodes_(numNodes), ports_(numNodes, nullptr), arrivalQ_(numNodes),
+      pumping_(numNodes, false)
 {
+    cni_assert(numNodes_ >= 1);
+    cni_assert(params_.window >= 1);
     windowCh_.reserve(numNodes);
     for (int i = 0; i < numNodes; ++i)
         windowCh_.push_back(std::make_unique<WaitChannel>(eq));
 }
 
 void
-Network::attach(NodeId node, NiPort *port)
+Interconnect::attach(NodeId node, NiPort *port)
 {
     cni_assert(node >= 0 && node < numNodes_);
     cni_assert(ports_[node] == nullptr);
@@ -23,14 +27,14 @@ Network::attach(NodeId node, NiPort *port)
 }
 
 bool
-Network::canInject(NodeId src, NodeId dst) const
+Interconnect::canInject(NodeId src, NodeId dst) const
 {
     auto it = inFlight_.find({src, dst});
-    return it == inFlight_.end() || it->second < kSlidingWindow;
+    return it == inFlight_.end() || it->second < params_.window;
 }
 
 void
-Network::inject(NetMsg msg)
+Interconnect::inject(NetMsg msg)
 {
     cni_assert(msg.src >= 0 && msg.src < numNodes_);
     cni_assert(msg.dst >= 0 && msg.dst < numNodes_);
@@ -42,14 +46,15 @@ Network::inject(NetMsg msg)
     stats_.incr("payload_bytes", msg.payloadBytes());
 
     const NodeId dst = msg.dst;
-    eq_.scheduleIn(kNetworkLatency, [this, dst, m = std::move(msg)]() mutable {
+    const Tick delay = routeDelay(msg);
+    eq_.scheduleIn(delay, [this, dst, m = std::move(msg)]() mutable {
         arrivalQ_[dst].push_back(std::move(m));
         pumpArrivals(dst);
     });
 }
 
 void
-Network::pumpArrivals(NodeId dst)
+Interconnect::pumpArrivals(NodeId dst)
 {
     if (pumping_[dst] || arrivalQ_[dst].empty())
         return;
@@ -61,19 +66,20 @@ Network::pumpArrivals(NodeId dst)
         // message behind it) until the NI accepts it — arrivals back up
         // into the fabric, acks stall, and the senders' windows close.
         stats_.incr("delivery_retries");
+        stats_.incr("retry_wait_cycles", params_.retryInterval);
         pumping_[dst] = true;
-        eq_.scheduleIn(kRetryInterval, [this, dst] {
+        eq_.scheduleIn(params_.retryInterval, [this, dst] {
             pumping_[dst] = false;
             pumpArrivals(dst);
         });
         return;
     }
     stats_.incr("delivered");
-    // Acknowledgment travels back with the same fabric latency, then the
+    // Acknowledgment travels back across the fabric, then the
     // sliding-window slot frees.
     const NodeId src = arrivalQ_[dst].front().src;
     arrivalQ_[dst].pop_front();
-    eq_.scheduleIn(kNetworkLatency, [this, src, dst] {
+    eq_.scheduleIn(ackDelay(src, dst), [this, src, dst] {
         auto it = inFlight_.find({src, dst});
         cni_assert(it != inFlight_.end() && it->second > 0);
         --it->second;
@@ -81,6 +87,77 @@ Network::pumpArrivals(NodeId dst)
     });
     // Keep draining: back-to-back arrivals deliver without extra delay.
     pumpArrivals(dst);
+}
+
+void
+Interconnect::reportTopology(JsonWriter &w) const
+{
+    (void)w;
+}
+
+// --- registry ---------------------------------------------------------------
+
+NetRegistry &
+NetRegistry::instance()
+{
+    static NetRegistry *reg = [] {
+        auto *r = new NetRegistry();
+        detail::registerIdealNet(*r);
+        detail::registerMeshNet(*r);
+        detail::registerCrossbarNet(*r);
+        return r;
+    }();
+    return *reg;
+}
+
+void
+NetRegistry::register_(const std::string &name, Factory fn)
+{
+    entries_[name] = std::move(fn);
+}
+
+bool
+NetRegistry::known(const std::string &name) const
+{
+    return entries_.count(name) != 0;
+}
+
+std::unique_ptr<Interconnect>
+NetRegistry::make(const std::string &name, EventQueue &eq, int numNodes,
+                  const NetParams &params) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        cni_fatal("unknown interconnect '%s' (registered models: %s)",
+                  name.c_str(), namesCsv().c_str());
+    }
+    return it->second(eq, numNodes, params);
+}
+
+std::vector<std::string>
+NetRegistry::names() const
+{
+    std::vector<std::string> out;
+    for (const auto &[name, fn] : entries_)
+        out.push_back(name);
+    return out;
+}
+
+std::string
+NetRegistry::namesCsv() const
+{
+    std::string csv;
+    for (const auto &[name, fn] : entries_) {
+        if (!csv.empty())
+            csv += ", ";
+        csv += name;
+    }
+    return csv;
+}
+
+NetRegistrar::NetRegistrar(const char *name, NetRegistry::Factory fn)
+{
+    NetRegistry::instance().register_(name, std::move(fn));
 }
 
 } // namespace cni

@@ -1,25 +1,46 @@
 /**
  * @file
- * The interconnect fabric (Section 4.1).
+ * The pluggable interconnect fabric (Section 4.1, generalized).
  *
- * Topology is ignored: every network message takes kNetworkLatency (100)
- * processor cycles from injection of its last byte to arrival of its first
- * byte. End-point flow control is a hardware sliding window: a node may
- * have up to kSlidingWindow (4) unacknowledged messages outstanding per
- * destination; the receiving NI acknowledges a message when it accepts it
- * into its receive queue, and a congested receiver silently defers
- * acceptance (the message "backs up into the network" and is retried).
+ * The paper models the network as a single fixed-latency pipe; this
+ * layer keeps that model (IdealNet, the default — see net/ideal.hpp) but
+ * makes the fabric an abstract Interconnect chosen by name through the
+ * NetRegistry, with topology-aware alternatives (MeshNet, CrossbarNet)
+ * for congestion and scalability studies the paper could not run.
+ *
+ * What every model shares — implemented here in the base class:
+ *  - end-point flow control: a hardware sliding window of
+ *    NetParams::window unacknowledged messages per (source, destination)
+ *    pair; the receiving NI acknowledges a message when it accepts it
+ *    into its receive queue, and the ack returns across the fabric
+ *    before the window slot frees;
+ *  - per-destination in-order arrival: a refused head-of-line message
+ *    blocks everything behind it ("backs up into the network") and is
+ *    retried every NetParams::retryInterval cycles;
+ *  - injection/delivery/retry statistics.
+ *
+ * What the models differ in — the virtual hooks:
+ *  - routeDelay(): cycles from injection to arrival, including any
+ *    topology-dependent queuing (per-link occupancy in MeshNet,
+ *    endpoint-port occupancy in CrossbarNet);
+ *  - ackDelay(): cycles for the acknowledgment's return trip;
+ *  - reportTopology(): model-specific JSON (per-link occupancy, dims).
  */
 
 #ifndef CNI_NET_NETWORK_HPP
 #define CNI_NET_NETWORK_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "net/params.hpp"
+#include "net/payload.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
 #include "sim/task.hpp"
@@ -28,10 +49,12 @@
 namespace cni
 {
 
+class JsonWriter;
+
 /**
  * One fixed-size (256-byte) network message: a 12-byte header (handler id,
  * payload length, fragmentation info, context) plus up to 244 payload
- * bytes.
+ * bytes, stored inline (no heap traffic on the simulation's hottest path).
  */
 struct NetMsg
 {
@@ -43,7 +66,7 @@ struct NetMsg
     std::uint8_t ctx = 0;        //!< receiving process / queue context
     std::uint32_t seq = 0;       //!< sender sequence (fragment reassembly)
     std::uint64_t userTag = 0;   //!< opaque user word (timestamps in tests)
-    std::vector<std::uint8_t> payload; //!< <= kNetworkPayloadBytes
+    MsgPayload payload;          //!< <= kNetworkPayloadBytes, inline
 
     std::size_t
     payloadBytes() const
@@ -69,12 +92,49 @@ class NiPort
     virtual bool netDeliver(const NetMsg &msg) = 0;
 };
 
-class Network
+/**
+ * A serially reserved fabric resource (a mesh link, a crossbar port):
+ * messages occupy it back-to-back in reservation order, and its
+ * occupancy/wait bookkeeping feeds the congestion reports.
+ */
+struct SerialResource
+{
+    Tick nextFree = 0;   //!< earliest cycle a new reservation may start
+    Tick busyCycles = 0; //!< total occupied cycles
+    Tick waitCycles = 0; //!< total cycles reservations queued for it
+    std::uint64_t uses = 0;
+
+    /**
+     * Reserve `ser` cycles starting no earlier than `at`. Returns the
+     * actual start (>= at); `start - at` is the queuing wait.
+     */
+    Tick
+    reserve(Tick at, Tick ser)
+    {
+        const Tick start = std::max(at, nextFree);
+        waitCycles += start - at;
+        busyCycles += ser;
+        nextFree = start + ser;
+        ++uses;
+        return start;
+    }
+};
+
+/**
+ * Abstract interconnect. Owns the sliding-window and in-order arrival
+ * machinery; concrete models supply the timing (see file comment).
+ */
+class Interconnect
 {
   public:
-    Network(EventQueue &eq, int numNodes);
+    Interconnect(EventQueue &eq, int numNodes, NetParams params);
+    virtual ~Interconnect() = default;
+
+    /** Model name as registered ("ideal", "mesh", ...). */
+    virtual const char *kind() const = 0;
 
     int numNodes() const { return numNodes_; }
+    const NetParams &params() const { return params_; }
 
     void attach(NodeId node, NiPort *port);
 
@@ -83,7 +143,7 @@ class Network
 
     /**
      * Inject a message (window space must be available). Delivery is
-     * attempted kNetworkLatency cycles later.
+     * attempted routeDelay() cycles later.
      */
     void inject(NetMsg msg);
 
@@ -95,14 +155,48 @@ class Network
     WaitChannel &windowChannel(NodeId src) { return *windowCh_[src]; }
 
     StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
 
     /** Messages injected so far (all nodes). */
     std::uint64_t injected() const { return stats_.counter("injected"); }
 
+    /**
+     * Model-specific keys written into the open "net" object of
+     * Machine::report() (per-link occupancy, topology dims, ...).
+     */
+    virtual void reportTopology(JsonWriter &w) const;
+
+  protected:
+    /**
+     * Cycles from this injection to arrival at msg.dst. Called once per
+     * message at injection time; a model reserves whatever resources the
+     * message occupies (links, ports) and accounts contention here.
+     */
+    virtual Tick routeDelay(const NetMsg &msg) = 0;
+
+    /** Cycles for the acknowledgment's trip from `dst` back to `src`. */
+    virtual Tick
+    ackDelay(NodeId src, NodeId dst)
+    {
+        (void)src;
+        (void)dst;
+        return params_.latency;
+    }
+
+    /** Cycles `msg` occupies a link/port at NetParams::linkBw. */
+    Tick
+    serializationCycles(const NetMsg &msg) const
+    {
+        return (msg.wireBytes() + params_.linkBw - 1) / params_.linkBw;
+    }
+
+    EventQueue &eq_;
+    NetParams params_;
+    StatSet stats_;
+
   private:
     void pumpArrivals(NodeId dst);
 
-    EventQueue &eq_;
     int numNodes_;
     std::vector<NiPort *> ports_;
     std::vector<std::unique_ptr<WaitChannel>> windowCh_;
@@ -114,11 +208,71 @@ class Network
     /// motivation for large queues).
     std::vector<std::deque<NetMsg>> arrivalQ_;
     std::vector<bool> pumping_;
-    StatSet stats_;
-
-    /** Retry interval for a receiver that refused delivery. */
-    static constexpr Tick kRetryInterval = 20;
 };
+
+/**
+ * Back-compat alias: the rest of the machine (NI devices, builders) is
+ * written against "the network" and never cares which model is behind it.
+ */
+using Network = Interconnect;
+
+/**
+ * Name-keyed factory registry for interconnect models — the same
+ * pattern NiRegistry uses for NI devices, so out-of-tree fabrics plug
+ * in without touching core code:
+ *
+ *   namespace { const NetRegistrar reg("mynet",
+ *       [](EventQueue &eq, int n, const NetParams &p) {
+ *           return std::make_unique<MyNet>(eq, n, p); });
+ *   }
+ */
+class NetRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<Interconnect>(
+        EventQueue &, int, const NetParams &)>;
+
+    /** The process-wide registry (builtin models are ensured here). */
+    static NetRegistry &instance();
+
+    /** Register a model; re-registering a name replaces it. */
+    void register_(const std::string &name, Factory fn);
+
+    bool known(const std::string &name) const;
+
+    /**
+     * Construct a fabric. Fatal (with the list of registered models) on
+     * an unknown name — an unknown topology is a configuration error.
+     */
+    std::unique_ptr<Interconnect> make(const std::string &name,
+                                       EventQueue &eq, int numNodes,
+                                       const NetParams &params) const;
+
+    /** Registered model names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Comma-separated model names, for error messages. */
+    std::string namesCsv() const;
+
+  private:
+    std::map<std::string, Factory> entries_;
+};
+
+/** Registers a model at static-initialization time (out-of-tree nets). */
+struct NetRegistrar
+{
+    NetRegistrar(const char *name, NetRegistry::Factory fn);
+};
+
+namespace detail
+{
+// Self-registration hooks of the builtin models, defined next to each
+// fabric in src/net/*.cpp. Called once from NetRegistry::instance() so a
+// static-library link never drops them.
+void registerIdealNet(NetRegistry &r);
+void registerMeshNet(NetRegistry &r);
+void registerCrossbarNet(NetRegistry &r);
+} // namespace detail
 
 } // namespace cni
 

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Fixed-capacity inline payload storage for network messages.
+ *
+ * Network messages are fixed 256-byte entities (Section 4.1), so their
+ * payload never exceeds kNetworkPayloadBytes (244). Storing it inline —
+ * instead of a heap-allocated std::vector — removes an allocation and a
+ * deallocation from every fragment on the hottest simulation path
+ * (inject → deliver → reassemble), where messages are moved through
+ * deques and staging queues constantly.
+ *
+ * The interface mirrors the std::vector subset the codebase used, so
+ * call sites read unchanged; conversion to std::vector exists for the
+ * user-level (unbounded) message layer.
+ */
+
+#ifndef CNI_NET_PAYLOAD_HPP
+#define CNI_NET_PAYLOAD_HPP
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <vector>
+
+#include "sim/logging.hpp"
+#include "sim/types.hpp"
+
+namespace cni
+{
+
+class MsgPayload
+{
+  public:
+    MsgPayload() = default;
+
+    MsgPayload(std::initializer_list<std::uint8_t> il)
+    {
+        assign(il.begin(), il.end());
+    }
+
+    MsgPayload &
+    operator=(std::initializer_list<std::uint8_t> il)
+    {
+        assign(il.begin(), il.end());
+        return *this;
+    }
+
+    /** Copy [first, last) into the buffer (pointers or contiguous iters). */
+    void
+    assign(const std::uint8_t *first, const std::uint8_t *last)
+    {
+        const std::size_t n = static_cast<std::size_t>(last - first);
+        cni_assert(n <= kNetworkPayloadBytes);
+        if (n > 0)
+            std::memcpy(buf_.data(), first, n);
+        size_ = static_cast<std::uint16_t>(n);
+    }
+
+    /** Fill with `n` copies of `v`. */
+    void
+    assign(std::size_t n, std::uint8_t v)
+    {
+        cni_assert(n <= kNetworkPayloadBytes);
+        std::memset(buf_.data(), v, n);
+        size_ = static_cast<std::uint16_t>(n);
+    }
+
+    std::uint8_t *data() { return buf_.data(); }
+    const std::uint8_t *data() const { return buf_.data(); }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    void clear() { size_ = 0; }
+
+    const std::uint8_t *begin() const { return buf_.data(); }
+    const std::uint8_t *end() const { return buf_.data() + size_; }
+
+    /** User-level messages are unbounded vectors; convert on the way up. */
+    operator std::vector<std::uint8_t>() const
+    {
+        return std::vector<std::uint8_t>(begin(), end());
+    }
+
+    friend bool
+    operator==(const MsgPayload &a, const MsgPayload &b)
+    {
+        return a.size_ == b.size_ &&
+               std::memcmp(a.buf_.data(), b.buf_.data(), a.size_) == 0;
+    }
+
+    friend bool
+    operator==(const MsgPayload &a, const std::vector<std::uint8_t> &b)
+    {
+        return a.size() == b.size() &&
+               std::memcmp(a.data(), b.data(), a.size()) == 0;
+    }
+
+    friend bool
+    operator==(const std::vector<std::uint8_t> &a, const MsgPayload &b)
+    {
+        return b == a;
+    }
+
+  private:
+    std::array<std::uint8_t, kNetworkPayloadBytes> buf_;
+    std::uint16_t size_ = 0;
+};
+
+} // namespace cni
+
+#endif // CNI_NET_PAYLOAD_HPP

@@ -1,0 +1,78 @@
+#include "net/xbar.hpp"
+
+#include <algorithm>
+
+#include "sim/json.hpp"
+#include "sim/logging.hpp"
+
+namespace cni
+{
+
+CrossbarNet::CrossbarNet(EventQueue &eq, int numNodes, NetParams params)
+    : Interconnect(eq, numNodes, std::move(params)), egress_(numNodes),
+      ingress_(numNodes)
+{
+    cni_assert(params_.linkBw >= 1);
+}
+
+Tick
+CrossbarNet::routeDelay(const NetMsg &msg)
+{
+    const Tick now = eq_.now();
+    const Tick ser = serializationCycles(msg);
+
+    // Serialize out of the source's injection port...
+    const Tick outStart = egress_[msg.src].reserve(now, ser);
+    if (outStart > now)
+        stats_.incr("egress_wait_cycles", outStart - now);
+    stats_.incr("port_busy_cycles", ser);
+
+    // ...cross the (non-blocking) switch...
+    const Tick transit = outStart + ser + params_.latency;
+
+    // ...and serialize into the destination's delivery port.
+    const Tick inStart = ingress_[msg.dst].reserve(transit, ser);
+    if (inStart > transit)
+        stats_.incr("ingress_wait_cycles", inStart - transit);
+    stats_.incr("port_busy_cycles", ser);
+
+    return inStart + ser - now;
+}
+
+void
+CrossbarNet::reportTopology(JsonWriter &w) const
+{
+    auto writePorts = [&](const char *key,
+                          const std::vector<PortState> &ports) {
+        w.key(key).beginArray();
+        for (NodeId n = 0; n < numNodes(); ++n) {
+            const PortState &p = ports[n];
+            if (p.uses == 0)
+                continue;
+            w.beginObject();
+            w.key("node").value(n);
+            w.key("messages").value(p.uses);
+            w.key("busy_cycles").value(std::uint64_t(p.busyCycles));
+            w.key("wait_cycles").value(std::uint64_t(p.waitCycles));
+            w.endObject();
+        }
+        w.endArray();
+    };
+    writePorts("egress_ports", egress_);
+    writePorts("ingress_ports", ingress_);
+}
+
+namespace detail
+{
+
+void
+registerCrossbarNet(NetRegistry &r)
+{
+    r.register_("xbar", [](EventQueue &eq, int n, const NetParams &p) {
+        return std::make_unique<CrossbarNet>(eq, n, p);
+    });
+}
+
+} // namespace detail
+
+} // namespace cni

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * CrossbarNet — a full crossbar: contention only at the endpoints.
+ *
+ * The switch core is non-blocking, so distinct (source, destination)
+ * pairs never interfere. What does serialize is each node's injection
+ * (egress) port and each node's delivery (ingress) port: a message
+ * occupies a port for wireBytes / linkBw cycles, reserved in order.
+ * Transit across the switch costs NetParams::latency cycles.
+ *
+ * This isolates endpoint contention (many-to-one hotspots) from path
+ * contention (MeshNet models both), which makes it the natural control
+ * in congestion ablations.
+ */
+
+#ifndef CNI_NET_XBAR_HPP
+#define CNI_NET_XBAR_HPP
+
+#include "net/network.hpp"
+
+namespace cni
+{
+
+class CrossbarNet : public Interconnect
+{
+  public:
+    CrossbarNet(EventQueue &eq, int numNodes, NetParams params);
+
+    const char *kind() const override { return "xbar"; }
+
+    void reportTopology(JsonWriter &w) const override;
+
+  protected:
+    Tick routeDelay(const NetMsg &msg) override;
+
+  private:
+    using PortState = SerialResource;
+
+    std::vector<PortState> egress_; //!< per-source injection port
+    std::vector<PortState> ingress_; //!< per-destination delivery port
+};
+
+} // namespace cni
+
+#endif // CNI_NET_XBAR_HPP

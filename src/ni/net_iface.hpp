@@ -85,6 +85,9 @@ class NetIface : public BusAgent, public NiPort
     StatSet &stats() { return stats_; }
     EventQueue &eq() { return eq_; }
 
+    /** The fabric's runtime parameters (window, backoffs, ...). */
+    const NetParams &netParams() const { return net_.params(); }
+
     /**
      * Attach this device to the NI bus of its fabric and start its
      * engine. Must be called exactly once, after construction completes

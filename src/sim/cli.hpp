@@ -8,6 +8,12 @@
  *   --contexts N      user processes per node (CNIiQ family)
  *   --placement P     memory | io | cache
  *   --snarf           enable writeback snarfing (CNI16Qm)
+ *   --net MODEL       interconnect (NetRegistry): ideal|mesh|torus|xbar
+ *   --net-latency N   fabric latency in cycles (ideal/xbar transit)
+ *   --link-bw N       link/port bandwidth in bytes per cycle (mesh/xbar)
+ *   --window N        sliding-window depth per destination
+ *   --net-retry N     congested-receiver retry interval in cycles
+ *   --mesh-dims XxY   mesh/torus grid (default: near-square)
  *   --seed S          workload-synthesis seed
  *   --json PATH       run-report output; "-" = stdout, "none" = off
  *                     (default: <binary>.report.json)
@@ -44,6 +50,12 @@ struct Options
     std::optional<int> contexts;
     std::optional<std::string> placement;
     std::optional<bool> snarf;
+    std::optional<std::string> net;
+    std::optional<Tick> netLatency;
+    std::optional<std::size_t> linkBw;
+    std::optional<int> window;
+    std::optional<Tick> netRetry;
+    std::optional<std::pair<int, int>> meshDims;
     std::optional<std::uint64_t> seed;
     std::string json; //!< report path; "-" stdout, "none" disabled
     std::vector<std::string> positional;
@@ -62,6 +74,28 @@ struct Options
             b.contexts(*contexts);
         if (snarf)
             b.snarfing(*snarf);
+        return applyNet(b);
+    }
+
+    /**
+     * Overlay only the interconnect flags. Benches with a fixed
+     * NI/placement sweep use this so --net/--window/... still work.
+     */
+    MachineBuilder &
+    applyNet(MachineBuilder &b) const
+    {
+        if (net)
+            b.net(*net);
+        if (netLatency)
+            b.netLatency(*netLatency);
+        if (linkBw)
+            b.linkBandwidth(*linkBw);
+        if (window)
+            b.window(*window);
+        if (netRetry)
+            b.netRetry(*netRetry);
+        if (meshDims)
+            b.meshDims(meshDims->first, meshDims->second);
         return b;
     }
 
@@ -103,7 +137,10 @@ parse(int argc, char **argv, const char *extraUsage = nullptr)
     auto usage = [&](int exitCode) {
         std::printf(
             "usage: %s [--ni MODEL] [--nodes N] [--contexts N]\n"
-            "       [--placement memory|io|cache] [--snarf] [--seed S]\n"
+            "       [--placement memory|io|cache] [--snarf]\n"
+            "       [--net ideal|mesh|torus|xbar] [--net-latency N]\n"
+            "       [--link-bw N] [--window N] [--net-retry N]\n"
+            "       [--mesh-dims XxY] [--seed S]\n"
             "       [--json PATH|-|none] %s\n",
             o.prog.c_str(), extraUsage ? extraUsage : "");
         std::exit(exitCode);
@@ -133,6 +170,36 @@ parse(int argc, char **argv, const char *extraUsage = nullptr)
             ++i;
         } else if (a == "--snarf") {
             o.snarf = true;
+        } else if (a == "--net") {
+            o.net = need(i);
+            ++i;
+        } else if (a == "--net-latency") {
+            o.netLatency = std::strtoull(need(i), nullptr, 10);
+            ++i;
+        } else if (a == "--link-bw") {
+            o.linkBw = std::strtoull(need(i), nullptr, 10);
+            ++i;
+        } else if (a == "--window") {
+            o.window = std::atoi(need(i));
+            ++i;
+        } else if (a == "--net-retry") {
+            o.netRetry = std::strtoull(need(i), nullptr, 10);
+            ++i;
+        } else if (a == "--mesh-dims") {
+            const char *spec = need(i);
+            const char *x = std::strchr(spec, 'x');
+            const int mx = x ? std::atoi(spec) : 0;
+            const int my = x ? std::atoi(x + 1) : 0;
+            if (mx < 1 || my < 1) {
+                std::fprintf(
+                    stderr,
+                    "%s: --mesh-dims wants positive XxY (e.g. 4x4), "
+                    "got '%s'\n",
+                    o.prog.c_str(), spec);
+                usage(1);
+            }
+            o.meshDims = {mx, my};
+            ++i;
         } else if (a == "--seed") {
             o.seed = std::strtoull(need(i), nullptr, 10);
             ++i;

@@ -42,11 +42,8 @@ constexpr std::size_t kNetworkHeaderBytes = 12;
 constexpr std::size_t kNetworkPayloadBytes =
     kNetworkMessageBytes - kNetworkHeaderBytes;
 
-/** Network latency, last byte injected to first byte arrived (Section 4.1). */
-constexpr Tick kNetworkLatency = 100;
-
-/** Hardware sliding-window depth per destination (Section 4.1). */
-constexpr int kSlidingWindow = 4;
+// Network latency and sliding-window depth are runtime parameters now:
+// see NetParams in net/params.hpp (defaults reproduce Section 4.1).
 
 /** Round x up to the next multiple of unit (unit must be a power of two). */
 constexpr std::uint64_t

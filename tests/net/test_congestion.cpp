@@ -1,0 +1,170 @@
+/**
+ * @file
+ * End-to-end congestion tests: sliding-window flow control and
+ * fragment reassembly through a contention-aware fabric.
+ *
+ *  - A receiver that defers polling forces deliveries to be refused at
+ *    the NI: the retry machinery and its counters must engage, and the
+ *    backed-up window must throttle the sender — yet every message must
+ *    still arrive intact.
+ *  - Multiple senders streaming multi-fragment messages across a mesh
+ *    interleave their fragments at the hotspot receiver; reassembly
+ *    must put every user message back together regardless of how the
+ *    fabric interleaves delivery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/machine.hpp"
+
+namespace cni
+{
+namespace
+{
+
+TEST(Congestion, DeferredReceiverForcesRetriesButLosesNothing)
+{
+    // CNI4 exposes a tiny hardware FIFO: stream at a receiver that
+    // sleeps first and deliveries get refused until it drains.
+    Machine m(Machine::describe()
+                  .nodes(2)
+                  .ni("CNI4")
+                  .netRetry(10)
+                  .spec());
+    constexpr int kMsgs = 8;
+    int received = 0;
+    m.endpoint(1).onMessage(1, [&received](const UserMsg &u) -> CoTask<void> {
+        EXPECT_EQ(u.payload.size(), 64u);
+        ++received;
+        co_return;
+    });
+    m.spawn(0, [](Machine &m) -> CoTask<void> {
+        std::vector<std::uint8_t> data(64, 0x5a);
+        for (int i = 0; i < kMsgs; ++i)
+            co_await m.endpoint(0).send(1, 1, data.data(), data.size());
+    }(m));
+    m.spawn(1, [](Machine &m, int &received) -> CoTask<void> {
+        // Sleep long enough for arrivals to pile into the fabric.
+        co_await m.proc(1).delay(2000);
+        co_await m.endpoint(1).pollUntil(
+            [&received] { return received >= kMsgs; });
+    }(m, received));
+    m.run();
+
+    EXPECT_EQ(received, kMsgs);
+    const StatSet &net = m.net().stats();
+    EXPECT_GT(net.counter("delivery_retries"), 0u);
+    // Satellite: backpressure is observable — the retry counter ties to
+    // the configured interval, not a baked-in constant.
+    EXPECT_EQ(net.counter("retry_wait_cycles"),
+              net.counter("delivery_retries") * 10);
+    EXPECT_EQ(net.counter("delivered"), net.counter("injected"));
+}
+
+TEST(Congestion, NarrowWindowThrottlesButCompletes)
+{
+    Machine m(Machine::describe().nodes(2).ni("CNI16Qm").window(1).spec());
+    constexpr int kMsgs = 6;
+    int received = 0;
+    m.endpoint(1).onMessage(1, [&received](const UserMsg &) -> CoTask<void> {
+        ++received;
+        co_return;
+    });
+    m.spawn(0, [](Machine &m) -> CoTask<void> {
+        std::vector<std::uint8_t> data(32, 1);
+        for (int i = 0; i < kMsgs; ++i)
+            co_await m.endpoint(0).send(1, 1, data.data(), data.size());
+    }(m));
+    m.spawn(1, [](Machine &m, int &received) -> CoTask<void> {
+        co_await m.endpoint(1).pollUntil(
+            [&received] { return received >= kMsgs; });
+    }(m, received));
+    m.run();
+    EXPECT_EQ(received, kMsgs);
+    // With a single-slot window every injection waits for the previous
+    // ack; the NI must have stalled on the window at least once.
+    EXPECT_GT(m.ni(0).stats().counter("window_stalls"), 0u);
+}
+
+TEST(Congestion, MeshReassemblesInterleavedFragmentStreams)
+{
+    // Three senders each push multi-fragment user messages at node 0
+    // across a 2x2 mesh; their fragments interleave at the hotspot and
+    // share links, so reassembly must demultiplex by (source, seq).
+    Machine m(Machine::describe()
+                  .nodes(4)
+                  .ni("CNI16Qm")
+                  .net("mesh")
+                  .meshDims(2, 2)
+                  .spec());
+    constexpr std::size_t kBytes = 1000; // 5 fragments
+    constexpr int kPerSender = 2;
+    int received = 0;
+    bool intact = true;
+    m.endpoint(0).onMessage(
+        1, [&received, &intact](const UserMsg &u) -> CoTask<void> {
+            if (u.payload.size() != kBytes) {
+                intact = false;
+            } else {
+                for (std::uint8_t b : u.payload)
+                    if (b != std::uint8_t(0x10 * u.src)) {
+                        intact = false;
+                        break;
+                    }
+            }
+            ++received;
+            co_return;
+        });
+    for (NodeId n = 1; n < 4; ++n) {
+        m.spawn(n, [](Machine &m, NodeId n) -> CoTask<void> {
+            std::vector<std::uint8_t> data(kBytes, std::uint8_t(0x10 * n));
+            for (int i = 0; i < kPerSender; ++i)
+                co_await m.endpoint(n).send(0, 1, data.data(), data.size());
+        }(m, n));
+    }
+    m.spawn(0, [](Machine &m, int &received) -> CoTask<void> {
+        co_await m.endpoint(0).pollUntil(
+            [&received] { return received >= 3 * kPerSender; });
+    }(m, received));
+    m.run();
+
+    EXPECT_EQ(received, 3 * kPerSender);
+    EXPECT_TRUE(intact);
+    // The fabric actually saw contention: some message waited for a
+    // link another message held.
+    const StatSet &net = m.net().stats();
+    EXPECT_GT(net.counter("link_busy_cycles"), 0u);
+    EXPECT_GT(net.counter("link_wait_cycles"), 0u);
+    // And the report surfaces per-link occupancy for it.
+    const std::string report = m.report();
+    EXPECT_NE(report.find("\"links\":[{\"node\""), std::string::npos);
+    EXPECT_NE(report.find("\"kind\":\"mesh\""), std::string::npos);
+}
+
+TEST(Congestion, IdealDefaultReportsZeroFabricContention)
+{
+    Machine m(Machine::describe().nodes(2).ni("CNI16Qm").spec());
+    int received = 0;
+    m.endpoint(1).onMessage(1, [&received](const UserMsg &) -> CoTask<void> {
+        ++received;
+        co_return;
+    });
+    m.spawn(0, [](Machine &m) -> CoTask<void> {
+        co_await m.endpoint(0).send(1, 1);
+    }(m));
+    m.spawn(1, [](Machine &m, int &received) -> CoTask<void> {
+        co_await m.endpoint(1).pollUntil(
+            [&received] { return received >= 1; });
+    }(m, received));
+    m.run();
+    const StatSet &net = m.net().stats();
+    EXPECT_EQ(net.counter("link_wait_cycles"), 0u);
+    EXPECT_EQ(net.counter("link_busy_cycles"), 0u);
+    const std::string report = m.report();
+    EXPECT_NE(report.find("\"kind\":\"ideal\""), std::string::npos);
+}
+
+} // namespace
+} // namespace cni

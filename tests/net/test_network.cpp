@@ -1,14 +1,15 @@
 /**
  * @file
- * Network fabric tests: latency, per-destination sliding window,
- * in-order delivery, and head-of-line backpressure.
+ * Fabric base-machinery tests against IdealNet (the paper's fixed-
+ * latency model): latency, per-destination sliding window, in-order
+ * delivery, and head-of-line backpressure.
  */
 
 #include <gtest/gtest.h>
 
 #include <deque>
 
-#include "net/network.hpp"
+#include "net/ideal.hpp"
 #include "sim/event_queue.hpp"
 
 namespace cni
@@ -46,10 +47,12 @@ msg(NodeId src, NodeId dst, std::uint32_t seq = 0)
     return m;
 }
 
+const NetParams kDefaults{};
+
 struct NetRig
 {
     EventQueue eq;
-    Network net{eq, 4};
+    IdealNet net{eq, 4};
     RecordingPort ports[4];
 
     NetRig()
@@ -69,13 +72,13 @@ TEST(Network, DeliversAfterFixedLatency)
     rig.net.inject(msg(0, 1));
     rig.run();
     ASSERT_EQ(rig.ports[1].delivered.size(), 1u);
-    EXPECT_EQ(rig.ports[1].deliveredAt[0], kNetworkLatency);
+    EXPECT_EQ(rig.ports[1].deliveredAt[0], kDefaults.latency);
 }
 
 TEST(Network, WindowAllowsFourInFlightPerDestination)
 {
     NetRig rig;
-    for (int i = 0; i < kSlidingWindow; ++i) {
+    for (int i = 0; i < kDefaults.window; ++i) {
         EXPECT_TRUE(rig.net.canInject(0, 1));
         rig.net.inject(msg(0, 1, i));
     }
@@ -87,7 +90,7 @@ TEST(Network, WindowAllowsFourInFlightPerDestination)
 TEST(Network, WindowReopensAfterAck)
 {
     NetRig rig;
-    for (int i = 0; i < kSlidingWindow; ++i)
+    for (int i = 0; i < kDefaults.window; ++i)
         rig.net.inject(msg(0, 1, i));
     EXPECT_FALSE(rig.net.canInject(0, 1));
     rig.run();
@@ -109,7 +112,7 @@ TEST(Network, RefusedHeadBlocksFollowers)
 {
     NetRig rig;
     rig.ports[1].refuse = true;
-    for (int i = 0; i < kSlidingWindow; ++i)
+    for (int i = 0; i < kDefaults.window; ++i)
         rig.net.inject(msg(0, 1, i));
     rig.eq.runUntil(500);
     EXPECT_TRUE(rig.ports[1].delivered.empty());
@@ -120,8 +123,8 @@ TEST(Network, RefusedHeadBlocksFollowers)
 
     rig.ports[1].refuse = false;
     rig.run();
-    ASSERT_EQ(rig.ports[1].delivered.size(), std::size_t(kSlidingWindow));
-    for (int i = 0; i < kSlidingWindow; ++i)
+    ASSERT_EQ(rig.ports[1].delivered.size(), std::size_t(kDefaults.window));
+    for (int i = 0; i < kDefaults.window; ++i)
         EXPECT_EQ(rig.ports[1].delivered[i].seq, std::uint32_t(i));
 }
 
