@@ -2,12 +2,16 @@
  * @file
  * google-benchmark microbenchmarks of the simulation substrate itself:
  * event-queue throughput, coroutine switch cost, host SPSC queue
- * operation cost, and whole-simulation event rate. These guard the
- * simulator's own performance (the macrobenchmark sweeps run hundreds of
- * millions of events).
+ * operation cost, whole-simulation event rate, and the sharded kernel's
+ * scaling sweep (serial vs multi-threaded wall clock on a big mesh
+ * machine). These guard the simulator's own performance (the
+ * macrobenchmark sweeps run hundreds of millions of events).
  */
 
 #include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstdint>
 
 #include "core/cq.hpp"
 #include "core/microbench.hpp"
@@ -33,6 +37,38 @@ BM_EventQueueScheduleRun(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+/**
+ * Executed-events guard for EventQueue::step(): callbacks whose captures
+ * exceed std::function's small-buffer optimization live on the heap, so
+ * a step() that *copies* the callback out of the heap (the old
+ * priority_queue::top() path) pays one allocation per executed event.
+ * The vector-heap step() moves it instead; a regression here shows up as
+ * a large items/sec drop on this benchmark.
+ */
+void
+BM_EventQueueStepHeavyCallbacks(benchmark::State &state)
+{
+    struct BigCapture
+    {
+        std::array<std::uint64_t, 8> payload;
+        int *sink;
+    };
+    for (auto _ : state) {
+        state.PauseTiming();
+        EventQueue eq;
+        int sink = 0;
+        BigCapture big{{}, &sink};
+        for (int i = 0; i < state.range(0); ++i)
+            eq.scheduleAt(i, [big] { ++*big.sink; });
+        state.ResumeTiming();
+        while (eq.step()) {
+        }
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueStepHeavyCallbacks)->Arg(16384);
 
 void
 BM_CoroutineDelayChain(benchmark::State &state)
@@ -77,6 +113,67 @@ BM_SimulatedRoundTrip(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SimulatedRoundTrip)->Unit(benchmark::kMillisecond);
+
+/**
+ * Sharded-kernel scaling sweep: an N-node mesh machine where every node
+ * streams messages to the node half the grid away, run at different
+ * host thread counts. Compare the {nodes, 1} and {nodes, 4} rows for
+ * the wall-clock speedup (simulated results are bit-identical across
+ * rows by the kernel's determinism guarantee). Machine construction is
+ * excluded from the timed region.
+ */
+void
+BM_ShardedMeshSweep(benchmark::State &state)
+{
+    setVerbose(false);
+    const int nodes = static_cast<int>(state.range(0));
+    const int threads = static_cast<int>(state.range(1));
+    const int msgsPerNode = 16;
+    std::uint64_t finalTick = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        const MachineSpec spec = Machine::describe()
+                                     .nodes(nodes)
+                                     .ni("CNI512Q")
+                                     .net("mesh")
+                                     .threads(threads)
+                                     .spec();
+        auto m = std::make_unique<Machine>(spec);
+        std::vector<int> got(nodes, 0);
+        for (NodeId n = 0; n < nodes; ++n) {
+            m->endpoint(n).onMessage(
+                1, [&got, n](const UserMsg &) -> CoTask<void> {
+                    ++got[n];
+                    co_return;
+                });
+            m->spawn(n, [](Machine &m, NodeId n, int nodes, int count,
+                           int *got) -> CoTask<void> {
+                const NodeId dst = NodeId((n + nodes / 2) % nodes);
+                std::uint8_t buf[64] = {};
+                for (int i = 0; i < count; ++i)
+                    co_await m.endpoint(n).send(dst, 1, buf, sizeof buf);
+                co_await m.endpoint(n).pollUntil(
+                    [got, count] { return *got >= count; });
+            }(*m, n, nodes, msgsPerNode, &got[n]));
+        }
+        state.ResumeTiming();
+        finalTick = m->run();
+        benchmark::DoNotOptimize(finalTick);
+        // Teardown (node destruction, worker-pool join) stays outside
+        // the timed region on every row.
+        state.PauseTiming();
+        m.reset();
+        state.ResumeTiming();
+    }
+    state.counters["sim_ticks"] = double(finalTick);
+}
+BENCHMARK(BM_ShardedMeshSweep)
+    ->Args({64, 1})
+    ->Args({64, 4})
+    ->Args({256, 1})
+    ->Args({256, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 } // namespace
 

@@ -21,6 +21,7 @@
 
 #include "sim/cli.hpp"
 #include "sim/logging.hpp"
+#include "sim/random.hpp"
 #include "sim/report.hpp"
 
 using namespace cni;
@@ -57,16 +58,23 @@ run(const cli::Options &opts, const std::string &netModel, int nodes,
             co_return;
         });
 
+    // Seeded start jitter staggers the senders, so different --seed
+    // values exercise different injection collision patterns (the CI
+    // determinism matrix runs two seeds through both kernels).
+    Rng rng(opts.seedOr(1));
     std::vector<std::uint8_t> payload(msgBytes, 0xab);
     for (NodeId n = 1; n < nodes; ++n) {
+        const Tick jitter = Tick(rng.below(64));
         m.spawn(n,
-                [](Machine &m, NodeId n, const std::vector<std::uint8_t> &p,
+                [](Machine &m, NodeId n, Tick jitter,
+                   const std::vector<std::uint8_t> &p,
                    int count) -> CoTask<void> {
+                    co_await m.proc(n).delay(jitter);
                     for (int i = 0; i < count; ++i) {
                         co_await m.endpoint(n).send(0, 1, p.data(),
                                                     p.size());
                     }
-                }(m, n, payload, msgsPerSender));
+                }(m, n, jitter, payload, msgsPerSender));
     }
     m.spawn(0, [](Machine &m, int &received, int expected) -> CoTask<void> {
         co_await m.endpoint(0).pollUntil(

@@ -33,19 +33,25 @@ main(int argc, char **argv)
     Machine m = desc.build();
 
     // 2. Talk through endpoints. Node 1 serves an RPC: it answers each
-    //    request with an upper-cased copy of the payload.
-    m.endpoint(1).serve(1, [](const UserMsg &u)
+    //    request with an upper-cased copy of the payload. The served
+    //    count is node-1-local state — workload variables must never be
+    //    shared across nodes (racy and nondeterministic under the
+    //    sharded kernel's --threads mode).
+    int served = 0;
+    m.endpoint(1).serve(1, [&served](const UserMsg &u)
                                -> CoTask<std::vector<std::uint8_t>> {
         std::vector<std::uint8_t> reply = u.payload;
         for (auto &c : reply)
             c = static_cast<std::uint8_t>(std::toupper(c));
+        ++served;
         co_return reply;
     });
 
     // 3. Spawn one program per node. Programs are coroutines that send,
-    //    poll, and compute against the simulated processor.
-    bool done = false;
-    m.spawn(0, [](Machine &m, bool &done) -> CoTask<void> {
+    //    poll, and compute against the simulated processor. Time reads
+    //    come from the node's own queue (m.eq(node)), which is correct
+    //    on both the serial and the sharded kernel.
+    m.spawn(0, [](Machine &m) -> CoTask<void> {
         const char ping[] = "ping";
         UserMsg reply =
             co_await m.endpoint(0).rpc(1, 1, ping, sizeof(ping) - 1);
@@ -53,12 +59,11 @@ main(int argc, char **argv)
                     std::string(reply.payload.begin(),
                                 reply.payload.end())
                         .c_str(),
-                    m.eq().now() / kCyclesPerMicrosecond);
-        done = true;
-    }(m, done));
-    m.spawn(1, [](Machine &m, bool &done) -> CoTask<void> {
-        co_await m.endpoint(1).pollUntil([&] { return done; });
-    }(m, done));
+                    m.eq(0).now() / kCyclesPerMicrosecond);
+    }(m));
+    m.spawn(1, [](Machine &m, int *served) -> CoTask<void> {
+        co_await m.endpoint(1).pollUntil([=] { return *served >= 1; });
+    }(m, &served));
 
     // 4. Run to completion and inspect the machine.
     const Tick end = m.run();

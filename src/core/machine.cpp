@@ -91,6 +91,8 @@ MachineSpec::valid(std::string *why) const
                     "least one cycle");
     if (net.linkBw < 1)
         return fail("link bandwidth must be at least one byte per cycle");
+    if (threads < 0)
+        return fail("threads must be >= 0 (0 = classic serial kernel)");
     const bool dimmed = net.meshX > 0 || net.meshY > 0;
     if (dimmed &&
         (net.meshX < 1 || net.meshY < 1 ||
@@ -186,25 +188,36 @@ Machine::Machine(MachineSpec spec) : spec_(std::move(spec))
         cni_fatal("invalid machine description %s: %s",
                   spec_.label().c_str(), why.c_str());
 
+    if (spec_.threads > 0)
+        kernel_ = std::make_unique<ParallelKernel>(spec_.numNodes,
+                                                   spec_.threads);
+
     net_ = NetRegistry::instance().make(spec_.net.topology, eq_,
                                         spec_.numNodes, spec_.net);
+    if (kernel_) {
+        net_->bindShards(kernel_.get());
+        kernel_->setLookahead(net_->minLatency());
+    }
     group_ = std::make_unique<TaskGroup>(eq_);
 
     for (NodeId id = 0; id < spec_.numNodes; ++id) {
         const NodeSpec ns = spec_.node(id);
         auto node = std::make_unique<Node>();
         const std::string name = "node" + std::to_string(id);
+        // Every node-local component schedules on the node's queue: the
+        // shard queue under the sharded kernel, the global one otherwise.
+        EventQueue &neq = eq(id);
         node->mem = std::make_unique<NodeMemory>();
         node->fabric =
-            std::make_unique<NodeFabric>(eq_, name, spec_.placement);
+            std::make_unique<NodeFabric>(neq, name, spec_.placement);
         node->mainMem = std::make_unique<MainMemory>(name + ".memory");
         node->fabric->membus().attach(node->mainMem.get());
-        node->proc = std::make_unique<Proc>(eq_, id, *node->fabric,
+        node->proc = std::make_unique<Proc>(neq, id, *node->fabric,
                                             *node->mem, name + ".proc");
         if (spec_.snarfing)
             node->proc->cache().setSnarfing(true);
 
-        NiBuildContext ctx{eq_,
+        NiBuildContext ctx{neq,
                            id,
                            *node->fabric,
                            *net_,
@@ -237,6 +250,12 @@ Machine::spawn(NodeId n, CoTask<void> task)
 Tick
 Machine::run()
 {
+    if (kernel_) {
+        const Tick t = kernel_->run([this] { return group_->done(); },
+                                    spec_.label());
+        net_->foldShardCounters();
+        return t;
+    }
     bool ok = eq_.runUntilDone([this] { return group_->done(); });
     if (!ok) {
         cni_fatal("workload deadlocked: %d task(s) never finished (%s)",
@@ -248,6 +267,12 @@ Machine::run()
 Tick
 Machine::runUntil(Tick limit)
 {
+    if (kernel_) {
+        const Tick t = kernel_->runUntil(
+            limit, [this] { return group_->done(); });
+        net_->foldShardCounters();
+        return t;
+    }
     while (eq_.now() < limit && !group_->done()) {
         if (!eq_.step())
             break;
@@ -286,6 +311,7 @@ Machine::aggregateStats() const
 std::string
 Machine::report() const
 {
+    net_->foldShardCounters(); // no-op on the classic serial kernel
     JsonWriter w;
     w.beginObject();
 
@@ -336,9 +362,35 @@ Machine::report() const
     net_->reportTopology(w); // model-specific: links, ports, dims
     w.endObject(); // net
 
+    // The kernel section deliberately omits the host thread count: it
+    // holds only thread-count-independent values, so reports from
+    // --threads 1 and --threads N runs diff clean (the determinism CI
+    // job relies on this).
+    w.key("kernel").beginObject();
+    if (kernel_) {
+        w.key("mode").value("sharded");
+        w.key("lookahead").value(std::uint64_t(kernel_->lookahead()));
+        w.key("windows").value(kernel_->windows());
+        w.key("barrier_posts").value(kernel_->barrierPosts());
+        w.key("shards").beginArray();
+        for (int s = 0; s < kernel_->numShards(); ++s) {
+            w.beginObject();
+            w.key("shard").value(s);
+            w.key("executed").value(kernel_->shardExecuted(s));
+            w.key("stalled_windows")
+                .value(kernel_->shardStalledWindows(s));
+            w.endObject();
+        }
+        w.endArray();
+    } else {
+        w.key("mode").value("serial");
+        w.key("executed").value(eq_.executed());
+    }
+    w.endObject(); // kernel
+
     w.key("runtime").beginObject();
-    w.key("now_cycles").value(std::uint64_t(eq_.now()));
-    w.key("now_us").value(eq_.now() / kCyclesPerMicrosecond);
+    w.key("now_cycles").value(std::uint64_t(now()));
+    w.key("now_us").value(now() / kCyclesPerMicrosecond);
     w.key("membus_occupied_cycles")
         .value(std::uint64_t(memBusOccupiedCycles()));
     w.key("workload_done").value(workloadDone());

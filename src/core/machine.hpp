@@ -44,6 +44,7 @@
 #include "ni/net_iface.hpp"
 #include "proc/proc.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/parallel_kernel.hpp"
 #include "sim/task.hpp"
 
 namespace cni
@@ -79,6 +80,15 @@ struct MachineSpec
     NiPlacement placement = NiPlacement::MemoryBus;
     bool snarfing = false; //!< processor caches snarf writebacks (Qm)
     NetParams net;         //!< interconnect model + runtime knobs
+    /**
+     * Simulation kernel selection. 0 (default): the classic serial
+     * kernel — one global-order event queue, the paper-exact execution
+     * order. >= 1: the sharded kernel (one shard per node, conservative
+     * window synchronization, `threads` host worker threads); any two
+     * thread counts produce bit-identical runs, but the sharded kernel's
+     * same-tick merge order differs from the classic serial kernel's.
+     */
+    int threads = 0;
     NodeSpec defaults;
     std::map<NodeId, NodeOverride> overrides;
 
@@ -198,6 +208,20 @@ class MachineBuilder
         return *this;
     }
 
+    // Simulation kernel -----------------------------------------------------
+
+    /**
+     * Run on the sharded kernel with `n` host threads (n >= 1); 0
+     * restores the classic serial kernel. See MachineSpec::threads for
+     * the determinism contract.
+     */
+    MachineBuilder &
+    threads(int n)
+    {
+        spec_.threads = n;
+        return *this;
+    }
+
     /** Default user processes per node (CNIiQ family only). */
     MachineBuilder &
     contexts(int n)
@@ -276,7 +300,30 @@ class Machine
     int numNodes() const { return spec_.numNodes; }
     const MachineSpec &spec() const { return spec_; }
 
+    /**
+     * The classic serial kernel's queue. Under the sharded kernel this
+     * queue carries no events — use eq(NodeId) or now() instead.
+     */
     EventQueue &eq() { return eq_; }
+
+    /**
+     * The queue driving node `n`: its shard queue under the sharded
+     * kernel, the global queue otherwise. Node-local code (workload
+     * coroutines, measurement probes) must read time from here.
+     */
+    EventQueue &
+    eq(NodeId n)
+    {
+        cni_assert(n >= 0 && n < spec_.numNodes);
+        return kernel_ ? kernel_->shardQueue(n) : eq_;
+    }
+
+    /** Latest simulated tick reached (kernel-agnostic). */
+    Tick now() const { return kernel_ ? kernel_->now() : eq_.now(); }
+
+    /** The sharded kernel, or nullptr on the classic serial kernel. */
+    const ParallelKernel *kernel() const { return kernel_.get(); }
+
     Network &net() { return *net_; }
     Proc &proc(NodeId n) { return *node(n).proc; }
     NetIface &ni(NodeId n) { return *node(n).ni; }
@@ -353,6 +400,7 @@ class Machine
 
     MachineSpec spec_;
     EventQueue eq_;
+    std::unique_ptr<ParallelKernel> kernel_; //!< sharded kernel, if on
     std::unique_ptr<Network> net_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::unique_ptr<TaskGroup> group_;

@@ -52,11 +52,17 @@ roundTripLatency(const MachineSpec &spec, std::size_t msgBytes, int rounds,
     Endpoint &e0 = sys.endpoint(0);
     Endpoint &e1 = sys.endpoint(1);
 
+    // Workload state is kept strictly node-local (pings on node 1,
+    // pongs/samples on node 0): under the sharded kernel the two nodes
+    // run on different host threads, so cross-node shared variables
+    // would be both racy and nondeterministic.
     int pongs = 0;
+    int pings = 0;
     std::vector<std::uint8_t> payload(msgBytes, 0xab);
 
     // Echo server on node 1.
     e1.onMessage(kPingPort, [&](const UserMsg &u) -> CoTask<void> {
+        ++pings;
         co_await e1.send(0, kPongPort, u.payload.data(), u.payload.size());
     });
     e0.onMessage(kPongPort, [&](const UserMsg &) -> CoTask<void> {
@@ -70,18 +76,20 @@ roundTripLatency(const MachineSpec &spec, std::size_t msgBytes, int rounds,
                     int warmup, int &pongs,
                     std::vector<Tick> &samples) -> CoTask<void> {
         for (int r = 0; r < warmup + rounds; ++r) {
-            const Tick start = sys.eq().now();
+            const Tick start = sys.eq(0).now();
             co_await e0.send(1, kPingPort, payload.data(), payload.size());
             const int want = r + 1;
             co_await e0.pollUntil([&] { return pongs >= want; });
             if (r >= warmup)
-                samples.push_back(sys.eq().now() - start);
+                samples.push_back(sys.eq(0).now() - start);
         }
     }(sys, e0, payload, rounds, warmup, pongs, samples));
 
+    // Node 1 is done once it has echoed every ping (the final echo's
+    // delivery completes in hardware after the send returns).
     sys.spawn(1, [](Endpoint &e1, int total, int *seen) -> CoTask<void> {
         co_await e1.pollUntil([=] { return *seen >= total; });
-    }(e1, warmup + rounds, &pongs));
+    }(e1, warmup + rounds, &pings));
 
     sys.run();
     addRunReport("roundTripLatency", sys, msgBytes);
@@ -118,11 +126,13 @@ streamBandwidth(const MachineSpec &spec, std::size_t msgBytes, int messages,
     Tick endTick = 0;
 
     e1.onMessage(kStreamPort, [&](const UserMsg &) -> CoTask<void> {
+        // Timestamps on the receiving node's own clock (its shard queue
+        // under the sharded kernel).
         ++received;
         if (received == warmup)
-            warmTick = sys.eq().now();
+            warmTick = sys.eq(1).now();
         if (received == messages)
-            endTick = sys.eq().now();
+            endTick = sys.eq(1).now();
         co_return;
     });
 

@@ -29,11 +29,15 @@ class IdealNet : public Interconnect
 
     const char *kind() const override { return "ideal"; }
 
+    /** Deliveries and acks both take exactly params_.latency. */
+    Tick minLatency() const override { return params_.latency; }
+
   protected:
     Tick
-    routeDelay(const NetMsg &msg) override
+    routeDelay(const NetMsg &msg, Tick now) override
     {
         (void)msg;
+        (void)now;
         return params_.latency;
     }
 };

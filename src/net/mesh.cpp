@@ -87,9 +87,8 @@ MeshNet::hops(NodeId src, NodeId dst) const
 }
 
 Tick
-MeshNet::routeDelay(const NetMsg &msg)
+MeshNet::routeDelay(const NetMsg &msg, Tick now)
 {
-    const Tick now = eq_.now();
     const Tick ser = serializationCycles(msg);
     Tick t = now;
     NodeId cur = msg.src;

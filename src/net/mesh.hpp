@@ -47,10 +47,16 @@ class MeshNet : public Interconnect
     /** Hops a message from `src` to `dst` traverses (routing distance). */
     int hops(NodeId src, NodeId dst) const;
 
+    /**
+     * The cheapest cross-node interaction is a one-hop ack (hop latency
+     * only, no serialization), so that is the conservative lookahead.
+     */
+    Tick minLatency() const override { return params_.hopLatency; }
+
     void reportTopology(JsonWriter &w) const override;
 
   protected:
-    Tick routeDelay(const NetMsg &msg) override;
+    Tick routeDelay(const NetMsg &msg, Tick now) override;
     Tick ackDelay(NodeId src, NodeId dst) override;
 
   private:

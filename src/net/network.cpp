@@ -8,14 +8,56 @@ namespace cni
 
 Interconnect::Interconnect(EventQueue &eq, int numNodes, NetParams params)
     : eq_(eq), params_(std::move(params)), stats_("network"),
-      numNodes_(numNodes), ports_(numNodes, nullptr), arrivalQ_(numNodes),
-      pumping_(numNodes, false)
+      numNodes_(numNodes), ports_(numNodes, nullptr),
+      inFlight_(numNodes, std::vector<int>(numNodes, 0)),
+      arrivalQ_(numNodes), pumping_(numNodes, false)
 {
     cni_assert(numNodes_ >= 1);
     cni_assert(params_.window >= 1);
     windowCh_.reserve(numNodes);
     for (int i = 0; i < numNodes; ++i)
         windowCh_.push_back(std::make_unique<WaitChannel>(eq));
+}
+
+void
+Interconnect::bindShards(ShardHost *host)
+{
+    cni_assert(host != nullptr);
+    cni_assert(stats_.counter("injected") == 0); // before any traffic
+    shards_ = host;
+    perNode_.assign(numNodes_, NodeCounters{});
+    folded_.assign(numNodes_, NodeCounters{});
+    // Window-space waiters suspend on their own node's shard, so the
+    // wakeup events must be scheduled there too.
+    windowCh_.clear();
+    for (int i = 0; i < numNodes_; ++i)
+        windowCh_.push_back(
+            std::make_unique<WaitChannel>(host->shardQueue(i)));
+}
+
+void
+Interconnect::foldShardCounters()
+{
+    if (!shards_)
+        return;
+    for (NodeId n = 0; n < numNodes_; ++n) {
+        const NodeCounters &cur = perNode_[n];
+        NodeCounters &last = folded_[n];
+        stats_.incr("injected", cur.injected - last.injected);
+        stats_.incr("payload_bytes", cur.payloadBytes - last.payloadBytes);
+        stats_.incr("delivered", cur.delivered - last.delivered);
+        stats_.incr("delivery_retries",
+                    cur.deliveryRetries - last.deliveryRetries);
+        stats_.incr("retry_wait_cycles",
+                    cur.retryWaitCycles - last.retryWaitCycles);
+        last = cur;
+    }
+}
+
+EventQueue &
+Interconnect::nodeQueue(NodeId node)
+{
+    return shards_ ? shards_->shardQueue(node) : eq_;
 }
 
 void
@@ -29,8 +71,7 @@ Interconnect::attach(NodeId node, NiPort *port)
 bool
 Interconnect::canInject(NodeId src, NodeId dst) const
 {
-    auto it = inFlight_.find({src, dst});
-    return it == inFlight_.end() || it->second < params_.window;
+    return inFlight_[src][dst] < params_.window;
 }
 
 void
@@ -41,16 +82,58 @@ Interconnect::inject(NetMsg msg)
     cni_assert(msg.payload.size() <= kNetworkPayloadBytes);
     cni_assert(canInject(msg.src, msg.dst));
 
-    ++inFlight_[{msg.src, msg.dst}];
+    ++inFlight_[msg.src][msg.dst];
+
+    if (shards_) {
+        // Sharded: route timing touches fabric-wide resources (links,
+        // ports), so it is deferred to the serial barrier phase where
+        // all of a window's injections are processed in canonical order.
+        NodeCounters &c = perNode_[msg.src];
+        ++c.injected;
+        c.payloadBytes += msg.payloadBytes();
+        const Tick at = shards_->shardNow(msg.src);
+        shards_->postBarrier(
+            msg.src, [this, at, m = std::move(msg)](Tick wEnd) mutable {
+                routeFromBarrier(std::move(m), at, wEnd);
+            });
+        return;
+    }
+
     stats_.incr("injected");
     stats_.incr("payload_bytes", msg.payloadBytes());
-
-    const NodeId dst = msg.dst;
-    const Tick delay = routeDelay(msg);
-    eq_.scheduleIn(delay, [this, dst, m = std::move(msg)]() mutable {
-        arrivalQ_[dst].push_back(std::move(m));
-        pumpArrivals(dst);
+    const Tick delay = routeDelay(msg, eq_.now());
+    eq_.scheduleIn(delay, [this, m = std::move(msg)]() mutable {
+        deliverArrival(std::move(m));
     });
+}
+
+void
+Interconnect::routeFromBarrier(NetMsg msg, Tick injectTick, Tick notBefore)
+{
+    const Tick delay = routeDelay(msg, injectTick);
+    Tick when = injectTick + delay;
+    if (when < notBefore) {
+        // The model undercut the kernel's lookahead (e.g. a loopback);
+        // deferring to the window boundary keeps the merge conservative
+        // and deterministic. Counted (messages + cycles of skew) so
+        // sweeps can spot it.
+        stats_.incr("lookahead_deferrals");
+        stats_.incr("lookahead_deferred_cycles", notBefore - when);
+        when = notBefore;
+    }
+    const NodeId dst = msg.dst;
+    shards_->shardQueue(dst).scheduleAt(
+        when, [this, m = std::move(msg)]() mutable {
+            deliverArrival(std::move(m));
+        });
+}
+
+void
+Interconnect::deliverArrival(NetMsg msg)
+{
+    const NodeId dst = msg.dst;
+    arrivalQ_[dst].push_back(std::move(msg));
+    pumpArrivals(dst);
 }
 
 void
@@ -65,26 +148,46 @@ Interconnect::pumpArrivals(NodeId dst)
         // Receiver congested: the head blocks the channel (and every
         // message behind it) until the NI accepts it — arrivals back up
         // into the fabric, acks stall, and the senders' windows close.
-        stats_.incr("delivery_retries");
-        stats_.incr("retry_wait_cycles", params_.retryInterval);
+        if (shards_) {
+            ++perNode_[dst].deliveryRetries;
+            perNode_[dst].retryWaitCycles += params_.retryInterval;
+        } else {
+            stats_.incr("delivery_retries");
+            stats_.incr("retry_wait_cycles", params_.retryInterval);
+        }
         pumping_[dst] = true;
-        eq_.scheduleIn(params_.retryInterval, [this, dst] {
+        nodeQueue(dst).scheduleIn(params_.retryInterval, [this, dst] {
             pumping_[dst] = false;
             pumpArrivals(dst);
         });
         return;
     }
-    stats_.incr("delivered");
+    if (shards_)
+        ++perNode_[dst].delivered;
+    else
+        stats_.incr("delivered");
     // Acknowledgment travels back across the fabric, then the
     // sliding-window slot frees.
     const NodeId src = arrivalQ_[dst].front().src;
     arrivalQ_[dst].pop_front();
-    eq_.scheduleIn(ackDelay(src, dst), [this, src, dst] {
-        auto it = inFlight_.find({src, dst});
-        cni_assert(it != inFlight_.end() && it->second > 0);
-        --it->second;
+    const Tick ack = ackDelay(src, dst);
+    auto complete = [this, src, dst] {
+        cni_assert(inFlight_[src][dst] > 0);
+        --inFlight_[src][dst];
         windowCh_[src]->notifyAll();
-    });
+    };
+    if (shards_) {
+        // The slot and the window channel belong to the source's shard:
+        // hand the completion across at the barrier.
+        const Tick when = shards_->shardNow(dst) + ack;
+        shards_->postBarrier(
+            dst, [this, src, when, complete](Tick wEnd) {
+                shards_->shardQueue(src).scheduleAt(
+                    std::max(when, wEnd), complete);
+            });
+    } else {
+        eq_.scheduleIn(ack, complete);
+    }
     // Keep draining: back-to-back arrivals deliver without extra delay.
     pumpArrivals(dst);
 }

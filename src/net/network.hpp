@@ -42,6 +42,7 @@
 #include "net/params.hpp"
 #include "net/payload.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/shard.hpp"
 #include "sim/stats.hpp"
 #include "sim/task.hpp"
 #include "sim/types.hpp"
@@ -136,6 +137,33 @@ class Interconnect
     int numNodes() const { return numNodes_; }
     const NetParams &params() const { return params_; }
 
+    /**
+     * Conservative lower bound, in cycles, on every cross-node
+     * interaction this fabric can produce (message deliveries and
+     * acknowledgment returns). The sharded kernel uses it as the
+     * synchronization window width: nothing a node does in a window can
+     * reach another node within the same window.
+     */
+    virtual Tick minLatency() const { return params_.latency; }
+
+    /**
+     * Switch to sharded operation: node-side work (injection
+     * bookkeeping, arrival pumping) runs on per-node shard queues, and
+     * cross-node effects are posted through `host` for deterministic
+     * merging at window barriers. Must be called before any traffic;
+     * recreates the per-source window channels on the shard queues.
+     */
+    void bindShards(ShardHost *host);
+
+    bool sharded() const { return shards_ != nullptr; }
+
+    /**
+     * Fold the per-node counters accumulated during sharded execution
+     * into stats(). Safe to call repeatedly (delta-folding); no-op in
+     * serial mode. The machine calls this after every run.
+     */
+    void foldShardCounters();
+
     void attach(NodeId node, NiPort *port);
 
     /** May `src` inject another message toward `dst` right now? */
@@ -168,11 +196,14 @@ class Interconnect
 
   protected:
     /**
-     * Cycles from this injection to arrival at msg.dst. Called once per
-     * message at injection time; a model reserves whatever resources the
-     * message occupies (links, ports) and accounts contention here.
+     * Cycles from an injection at tick `now` to arrival at msg.dst.
+     * Called once per message — at injection time in serial mode, at the
+     * window barrier (serially, in canonical order) in sharded mode; a
+     * model reserves whatever resources the message occupies (links,
+     * ports) and accounts contention here. Must return >= minLatency()
+     * for src != dst.
      */
-    virtual Tick routeDelay(const NetMsg &msg) = 0;
+    virtual Tick routeDelay(const NetMsg &msg, Tick now) = 0;
 
     /** Cycles for the acknowledgment's trip from `dst` back to `src`. */
     virtual Tick
@@ -195,19 +226,51 @@ class Interconnect
     StatSet stats_;
 
   private:
+    void deliverArrival(NetMsg msg);
     void pumpArrivals(NodeId dst);
+
+    /** Barrier-phase half of a sharded injection (serial, canonical). */
+    void routeFromBarrier(NetMsg msg, Tick injectTick, Tick notBefore);
+
+    /** The queue driving node-local work for `node`. */
+    EventQueue &nodeQueue(NodeId node);
+
+    /**
+     * Counters a node's shard increments during parallel execution.
+     * Each entry is only ever touched by its owning shard (cache-line
+     * aligned so neighbours do not false-share) and folded into stats_
+     * by the coordinator between runs.
+     */
+    struct alignas(64) NodeCounters
+    {
+        std::uint64_t injected = 0;
+        std::uint64_t payloadBytes = 0;
+        std::uint64_t delivered = 0;
+        std::uint64_t deliveryRetries = 0;
+        std::uint64_t retryWaitCycles = 0;
+    };
+
+    ShardHost *shards_ = nullptr;
+    std::vector<NodeCounters> perNode_;
+    std::vector<NodeCounters> folded_;
 
     int numNodes_;
     std::vector<NiPort *> ports_;
     std::vector<std::unique_ptr<WaitChannel>> windowCh_;
-    std::map<std::pair<NodeId, NodeId>, int> inFlight_;
+    /// In-flight (unacknowledged) messages per [src][dst]. Written by
+    /// the source's shard only: inject() runs on it, and the
+    /// ack-completion event is posted back to it.
+    std::vector<std::vector<int>> inFlight_;
     /// Per-destination ingress: arrivals deliver in order, and a refused
     /// head blocks everything behind it — messages back up into the
     /// fabric and their (ack-gated) window slots stay occupied, which is
     /// what throttles senders toward a congested receiver (Section 2.3's
     /// motivation for large queues).
     std::vector<std::deque<NetMsg>> arrivalQ_;
-    std::vector<bool> pumping_;
+    /// char, not bool: each flag is written by its destination's shard,
+    /// and vector<bool>'s packed bits would make distinct destinations
+    /// share words — a cross-shard data race.
+    std::vector<char> pumping_;
 };
 
 /**

@@ -16,9 +16,8 @@ CrossbarNet::CrossbarNet(EventQueue &eq, int numNodes, NetParams params)
 }
 
 Tick
-CrossbarNet::routeDelay(const NetMsg &msg)
+CrossbarNet::routeDelay(const NetMsg &msg, Tick now)
 {
-    const Tick now = eq_.now();
     const Tick ser = serializationCycles(msg);
 
     // Serialize out of the source's injection port...

@@ -28,10 +28,13 @@ class CrossbarNet : public Interconnect
 
     const char *kind() const override { return "xbar"; }
 
+    /** Every transfer (and the base-class ack) crosses the switch. */
+    Tick minLatency() const override { return params_.latency; }
+
     void reportTopology(JsonWriter &w) const override;
 
   protected:
-    Tick routeDelay(const NetMsg &msg) override;
+    Tick routeDelay(const NetMsg &msg, Tick now) override;
 
   private:
     using PortState = SerialResource;

@@ -14,6 +14,9 @@
  *   --window N        sliding-window depth per destination
  *   --net-retry N     congested-receiver retry interval in cycles
  *   --mesh-dims XxY   mesh/torus grid (default: near-square)
+ *   --threads N       sharded simulation kernel with N host threads
+ *                     (omit for the classic serial kernel; any N >= 1
+ *                     is bit-identical to --threads 1)
  *   --seed S          workload-synthesis seed
  *   --json PATH       run-report output; "-" = stdout, "none" = off
  *                     (default: <binary>.report.json)
@@ -56,6 +59,7 @@ struct Options
     std::optional<int> window;
     std::optional<Tick> netRetry;
     std::optional<std::pair<int, int>> meshDims;
+    std::optional<int> threads;
     std::optional<std::uint64_t> seed;
     std::string json; //!< report path; "-" stdout, "none" disabled
     std::vector<std::string> positional;
@@ -78,8 +82,9 @@ struct Options
     }
 
     /**
-     * Overlay only the interconnect flags. Benches with a fixed
-     * NI/placement sweep use this so --net/--window/... still work.
+     * Overlay only the interconnect + kernel flags. Benches with a
+     * fixed NI/placement sweep use this so --net/--window/--threads/...
+     * still work.
      */
     MachineBuilder &
     applyNet(MachineBuilder &b) const
@@ -96,6 +101,8 @@ struct Options
             b.netRetry(*netRetry);
         if (meshDims)
             b.meshDims(meshDims->first, meshDims->second);
+        if (threads)
+            b.threads(*threads);
         return b;
     }
 
@@ -140,7 +147,7 @@ parse(int argc, char **argv, const char *extraUsage = nullptr)
             "       [--placement memory|io|cache] [--snarf]\n"
             "       [--net ideal|mesh|torus|xbar] [--net-latency N]\n"
             "       [--link-bw N] [--window N] [--net-retry N]\n"
-            "       [--mesh-dims XxY] [--seed S]\n"
+            "       [--mesh-dims XxY] [--threads N] [--seed S]\n"
             "       [--json PATH|-|none] %s\n",
             o.prog.c_str(), extraUsage ? extraUsage : "");
         std::exit(exitCode);
@@ -199,6 +206,21 @@ parse(int argc, char **argv, const char *extraUsage = nullptr)
                 usage(1);
             }
             o.meshDims = {mx, my};
+            ++i;
+        } else if (a == "--threads") {
+            // Strict parse: atoi's silent 0 would select the serial
+            // kernel, making a typo look like "no speedup".
+            const char *arg = need(i);
+            char *end = nullptr;
+            const long n = std::strtol(arg, &end, 10);
+            if (end == arg || *end != '\0' || n < 0 || n > 4096) {
+                std::fprintf(stderr,
+                             "%s: --threads wants an integer in "
+                             "[0, 4096], got '%s'\n",
+                             o.prog.c_str(), arg);
+                usage(1);
+            }
+            o.threads = static_cast<int>(n);
             ++i;
         } else if (a == "--seed") {
             o.seed = std::strtoull(need(i), nullptr, 10);

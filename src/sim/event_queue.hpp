@@ -2,18 +2,23 @@
  * @file
  * Discrete-event simulation kernel.
  *
- * A single global-order event queue drives the whole simulated machine.
+ * A single global-order event queue drives a (serial) simulated machine.
  * Events scheduled for the same tick execute in scheduling order
  * (deterministic FIFO tie-break), which makes every simulation in this
  * repository exactly reproducible.
+ *
+ * Under the sharded kernel (sim/parallel_kernel.hpp) each shard owns one
+ * EventQueue and the same ordering rule applies per shard; cross-shard
+ * effects are merged at window barriers in a canonical order, so the
+ * determinism guarantee extends to multi-threaded runs.
  */
 
 #ifndef CNI_SIM_EVENT_QUEUE_HPP
 #define CNI_SIM_EVENT_QUEUE_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/logging.hpp"
@@ -23,15 +28,24 @@ namespace cni
 {
 
 /**
- * The event queue: a priority queue of (tick, sequence, callback).
+ * The event queue: a binary heap of (tick, sequence, callback).
  *
  * The kernel is deliberately minimal: components schedule plain callbacks;
  * the coroutine layer (sim/task.hpp) builds structured concurrency on top.
+ *
+ * The heap is kept in a plain vector (std::push_heap/std::pop_heap)
+ * rather than std::priority_queue: priority_queue::top() is const, which
+ * forces a copy of the std::function callback — a heap allocation per
+ * executed event on the simulation's hottest path. Popping the vector
+ * heap lets step() move the callback out instead.
  */
 class EventQueue
 {
   public:
     using Callback = std::function<void()>;
+
+    /** nextTick() result when no events are pending. */
+    static constexpr Tick kNoEvent = ~Tick{0};
 
     /** Current simulated time in processor cycles. */
     Tick now() const { return curTick_; }
@@ -41,7 +55,8 @@ class EventQueue
     scheduleAt(Tick when, Callback cb)
     {
         cni_assert(when >= curTick_);
-        events_.push(Event{when, nextSeq_++, std::move(cb)});
+        events_.push_back(Event{when, nextSeq_++, std::move(cb)});
+        std::push_heap(events_.begin(), events_.end(), std::greater<>{});
     }
 
     /** Schedule `cb` to run `delta` ticks from now. */
@@ -56,16 +71,22 @@ class EventQueue
     /** Number of pending events. */
     std::size_t pending() const { return events_.size(); }
 
+    /** Tick of the earliest pending event, or kNoEvent when empty. */
+    Tick
+    nextTick() const
+    {
+        return events_.empty() ? kNoEvent : events_.front().when;
+    }
+
     /** Run one event; returns false if the queue was empty. */
     bool
     step()
     {
         if (events_.empty())
             return false;
-        // priority_queue::top() is const; the callback must be moved out,
-        // so pop into a local copy.
-        Event ev = events_.top();
-        events_.pop();
+        std::pop_heap(events_.begin(), events_.end(), std::greater<>{});
+        Event ev = std::move(events_.back());
+        events_.pop_back();
         cni_assert(ev.when >= curTick_);
         curTick_ = ev.when;
         ++executed_;
@@ -89,7 +110,7 @@ class EventQueue
     Tick
     runUntil(Tick limit)
     {
-        while (!events_.empty() && events_.top().when <= limit)
+        while (!events_.empty() && events_.front().when <= limit)
             step();
         return curTick_;
     }
@@ -127,7 +148,7 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+    std::vector<Event> events_; //!< min-heap by (when, seq)
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The cross-shard scheduling seam of the sharded simulation kernel.
+ *
+ * Components that connect shards (today: the interconnect fabric) talk
+ * to the kernel exclusively through this interface, so the sim layer
+ * stays free of any dependency on the fabric and vice versa.
+ *
+ * The contract that makes sharded execution both safe and bit-identical
+ * to a single-threaded run:
+ *
+ *  - every shard owns one EventQueue and is executed by at most one host
+ *    thread per time window;
+ *  - a shard may touch another shard's state only by posting a barrier
+ *    function from its own execution (postBarrier). Posts are buffered
+ *    per shard and executed serially at the next window barrier in the
+ *    canonical (post tick, posting shard, per-shard sequence) order —
+ *    an order that does not depend on the host thread count;
+ *  - a barrier function receives the barrier's window-end tick and must
+ *    not schedule work earlier than it (the conservative lookahead rule:
+ *    any cross-shard effect is at least Interconnect::minLatency() in
+ *    the future, and the window width equals that lookahead).
+ */
+
+#ifndef CNI_SIM_SHARD_HPP
+#define CNI_SIM_SHARD_HPP
+
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/types.hpp"
+
+namespace cni
+{
+
+class ShardHost
+{
+  public:
+    /**
+     * Executed serially at the next window barrier; `windowEnd` is the
+     * first tick of the next window — the earliest tick any scheduled
+     * work may target.
+     */
+    using BarrierFn = std::function<void(Tick windowEnd)>;
+
+    virtual ~ShardHost() = default;
+
+    /** The event queue driving shard `shard`. */
+    virtual EventQueue &shardQueue(int shard) = 0;
+
+    /** Current simulated time of shard `shard`. */
+    virtual Tick shardNow(int shard) const = 0;
+
+    /**
+     * Buffer `fn` for the next window barrier. Must be called from
+     * `fromShard`'s own execution (or from the coordinator between
+     * windows); the kernel stamps the entry with the shard's current
+     * tick and a per-shard sequence number for the canonical merge.
+     */
+    virtual void postBarrier(int fromShard, BarrierFn fn) = 0;
+};
+
+} // namespace cni
+
+#endif // CNI_SIM_SHARD_HPP

@@ -19,6 +19,7 @@
 #ifndef CNI_SIM_TASK_HPP
 #define CNI_SIM_TASK_HPP
 
+#include <atomic>
 #include <coroutine>
 #include <exception>
 #include <functional>
@@ -405,9 +406,9 @@ class TaskGroup
     }
 
     /** Number of spawned tasks that have not yet finished. */
-    int live() const { return live_; }
+    int live() const { return live_.load(std::memory_order_acquire); }
 
-    bool done() const { return live_ == 0; }
+    bool done() const { return live() == 0; }
 
     EventQueue &eventQueue() { return eq_; }
 
@@ -435,11 +436,13 @@ class TaskGroup
     drive(CoTask<void> task)
     {
         co_await std::move(task);
-        --live_;
+        live_.fetch_sub(1, std::memory_order_release);
     }
 
     EventQueue &eq_;
-    int live_ = 0;
+    /// Tasks complete on their node's shard under the sharded kernel,
+    /// so the count is atomic; the coordinator polls done() at barriers.
+    std::atomic<int> live_{0};
 };
 
 } // namespace cni
