@@ -29,6 +29,11 @@ const std::vector<std::size_t> kSizes = {8,   16,  32,   64,   128,
 
 const cli::Options *gOpts = nullptr;
 
+/**
+ * Stream bandwidth, or all-negative when the combination is not
+ * buildable under the selected flags (e.g. --coherence directory has no
+ * bridged I/O or cache-bus placements) — printed as "n/a".
+ */
 BandwidthResult
 measure(const std::string &ni, NiPlacement p, std::size_t bytes,
         bool snarf = false)
@@ -40,12 +45,27 @@ measure(const std::string &ni, NiPlacement p, std::size_t bytes,
                            .snarfing(snarf);
     if (gOpts)
         gOpts->applyNet(b);
+    if (!b.valid()) {
+        BandwidthResult na;
+        na.megabytesPerSec = -1.0;
+        na.relativeToLocalMax = -1.0;
+        return na;
+    }
     const MachineSpec spec = b.spec();
     // Keep total transferred bytes roughly constant across sizes.
     const int messages =
         std::max(24, static_cast<int>(64 * 1024 / std::max<std::size_t>(
                                                       bytes, 64)));
     return streamBandwidth(spec, bytes, messages, messages / 8);
+}
+
+void
+cell(double rel, int width)
+{
+    if (rel < 0)
+        std::printf("%*s", width, "n/a");
+    else
+        std::printf("%*.3f", width, rel);
 }
 
 } // namespace
@@ -58,6 +78,19 @@ main(int argc, char **argv)
         argc, argv,
         "(fixed NI/placement sweep: --net*/--window/--json honored)");
     gOpts = &opts;
+    // Same whole-sweep gate as fig6: machine-wide flags that can build
+    // no cell fatal with the builder's message instead of an all-n/a
+    // table.
+    {
+        MachineBuilder probe = Machine::describe()
+                                   .nodes(2)
+                                   .ni("CNI16Qm")
+                                   .placement(NiPlacement::MemoryBus);
+        opts.applyNet(probe);
+        std::string why;
+        if (!probe.valid(&why))
+            cni_fatal("invalid flags: %s", why.c_str());
+    }
     std::printf("Figure 7: bandwidth relative to local-queue max "
                 "(%.0f MB/s)\n",
                 kLocalQueueMaxMBps);
@@ -69,13 +102,13 @@ main(int argc, char **argv)
         std::printf("%8zu", sz);
         for (const char *m :
              {"NI2w", "CNI4", "CNI16Q", "CNI512Q", "CNI16Qm"}) {
-            std::printf("%10.3f",
-                        measure(m, NiPlacement::MemoryBus, sz)
-                            .relativeToLocalMax);
+            cell(measure(m, NiPlacement::MemoryBus, sz)
+                     .relativeToLocalMax,
+                 10);
         }
-        std::printf("%12.3f",
-                    measure("CNI16Qm", NiPlacement::MemoryBus, sz, true)
-                        .relativeToLocalMax);
+        cell(measure("CNI16Qm", NiPlacement::MemoryBus, sz, true)
+                 .relativeToLocalMax,
+             12);
         std::printf("\n");
     }
 
@@ -84,9 +117,9 @@ main(int argc, char **argv)
     for (auto sz : kSizes) {
         std::printf("%8zu", sz);
         for (const char *m : {"NI2w", "CNI4", "CNI16Q", "CNI512Q"}) {
-            std::printf("%10.3f",
-                        measure(m, NiPlacement::IoBus, sz)
-                            .relativeToLocalMax);
+            cell(measure(m, NiPlacement::IoBus, sz)
+                     .relativeToLocalMax,
+                 10);
         }
         std::printf("\n");
     }
@@ -94,13 +127,21 @@ main(int argc, char **argv)
     std::printf("\n(c) alternate buses\n%8s%12s%16s%14s\n", "bytes",
                 "NI2w/cache", "CNI16Qm/memory", "CNI512Q/io");
     for (auto sz : kSizes) {
-        std::printf("%8zu%12.3f%16.3f%14.3f\n", sz,
-                    measure("NI2w", NiPlacement::CacheBus, sz)
-                        .relativeToLocalMax,
-                    measure("CNI16Qm", NiPlacement::MemoryBus, sz)
-                        .relativeToLocalMax,
-                    measure("CNI512Q", NiPlacement::IoBus, sz)
-                        .relativeToLocalMax);
+        // Measured right-to-left: the original printed all three cells
+        // through one printf call, whose argument evaluation order (and
+        // therefore the run order recorded in the report) was
+        // right-to-left on this toolchain. Keep the reports diffable.
+        const double io =
+            measure("CNI512Q", NiPlacement::IoBus, sz).relativeToLocalMax;
+        const double mem = measure("CNI16Qm", NiPlacement::MemoryBus, sz)
+                               .relativeToLocalMax;
+        const double cache =
+            measure("NI2w", NiPlacement::CacheBus, sz).relativeToLocalMax;
+        std::printf("%8zu", sz);
+        cell(cache, 12);
+        cell(mem, 16);
+        cell(io, 14);
+        std::printf("\n");
     }
 
     // Headline numbers (abstract): 64-byte message bandwidth.
@@ -113,12 +154,17 @@ main(int argc, char **argv)
     const double cniIo =
         measure("CNI512Q", NiPlacement::IoBus, 64).megabytesPerSec;
     std::printf("\nheadline (64-byte message bandwidth):\n");
-    std::printf("  memory bus: NI2w %.1f MB/s vs CNI16Qm %.1f MB/s -> "
-                "+%.0f%% (paper: +125%%)\n",
-                ni2wMem, cniMem, 100.0 * (cniMem - ni2wMem) / ni2wMem);
-    std::printf("  I/O bus:    NI2w %.1f MB/s vs CNI512Q %.1f MB/s -> "
-                "+%.0f%% (paper: +123%%)\n",
-                ni2wIo, cniIo, 100.0 * (cniIo - ni2wIo) / ni2wIo);
+    if (ni2wMem > 0 && cniMem > 0) {
+        std::printf("  memory bus: NI2w %.1f MB/s vs CNI16Qm %.1f MB/s "
+                    "-> +%.0f%% (paper: +125%%)\n",
+                    ni2wMem, cniMem,
+                    100.0 * (cniMem - ni2wMem) / ni2wMem);
+    }
+    if (ni2wIo > 0 && cniIo > 0) {
+        std::printf("  I/O bus:    NI2w %.1f MB/s vs CNI512Q %.1f MB/s "
+                    "-> +%.0f%% (paper: +123%%)\n",
+                    ni2wIo, cniIo, 100.0 * (cniIo - ni2wIo) / ni2wIo);
+    }
     opts.emitReports();
     return 0;
 }

@@ -40,6 +40,12 @@ run(const std::string &app, const std::string &ni, NiPlacement p)
     MachineBuilder b = Machine::describe().ni(ni).placement(p);
     if (g_opts.nodes)
         b.nodes(*g_opts.nodes);
+    // Shared net/coherence/kernel flags apply to every cell of the
+    // sweep; combinations the selected flags cannot build (e.g. I/O-bus
+    // placements under --coherence directory) report zeros.
+    g_opts.applyNet(b);
+    if (!b.valid())
+        return Cell{};
     AppResult r = runMacrobenchmark(app, b.spec(), g_opts.seedOr(0));
     return Cell{r.ticks, r.memBusOccupied};
 }
@@ -51,8 +57,23 @@ main(int argc, char **argv)
 {
     setVerbose(false);
     g_opts = cli::parse(argc, argv,
-                        "(fixed NI/placement sweep: only --nodes, --seed "
-                        "and --json are honored)");
+                        "(fixed NI/placement sweep: --nodes, --seed, "
+                        "--json and the shared net/coherence/kernel "
+                        "flags are honored)");
+    // Whole-sweep gate (as in fig6/fig7): the NI2w/mem baseline every
+    // ratio divides by must be buildable, else fatal with the
+    // builder's message instead of a table of zeros and NaNs.
+    {
+        MachineBuilder probe =
+            Machine::describe().ni("NI2w").placement(
+                NiPlacement::MemoryBus);
+        if (g_opts.nodes)
+            probe.nodes(*g_opts.nodes);
+        g_opts.applyNet(probe);
+        std::string why;
+        if (!probe.valid(&why))
+            cni_fatal("invalid flags: %s", why.c_str());
+    }
     const auto &apps = macrobenchmarkNames();
 
     std::map<std::string, Row> results;
@@ -73,7 +94,8 @@ main(int argc, char **argv)
     auto speedup = [&](const std::string &app, const std::string &label) {
         const double base =
             static_cast<double>(results[app].at("NI2w/mem").ticks);
-        return base / results[app].at(label).ticks;
+        const Tick ticks = results[app].at(label).ticks;
+        return ticks == 0 ? 0.0 : base / ticks; // 0.00 = n/a combination
     };
 
     std::printf("Figure 8: speedup over NI2w on the memory bus\n");
@@ -117,6 +139,10 @@ main(int argc, char **argv)
     for (const auto &app : apps) {
         const double base = static_cast<double>(
             results[app].at("NI2w/mem").busOccupied);
+        if (base == 0) {
+            std::printf("%-10s%10s%12s\n", app.c_str(), "n/a", "n/a");
+            continue;
+        }
         const double cni4 =
             results[app].at("CNI4/mem").busOccupied / base;
         double bestCq = 1e9;
@@ -144,9 +170,15 @@ main(int argc, char **argv)
     std::printf("headline: CNI512Q/io improvement over NI2w/io "
                 "(paper: 30-88%%)\n");
     for (const auto &app : apps) {
-        const double s =
-            static_cast<double>(results[app].at("NI2w/io").ticks) /
-            results[app].at("CNI512Q/io").ticks;
+        const Tick base = results[app].at("NI2w/io").ticks;
+        const Tick cni = results[app].at("CNI512Q/io").ticks;
+        if (base == 0 || cni == 0) {
+            // I/O-bus placements were not buildable under the selected
+            // flags (e.g. --coherence directory).
+            std::printf("  %-10s %5s\n", app.c_str(), "n/a");
+            continue;
+        }
+        const double s = static_cast<double>(base) / cni;
         std::printf("  %-10s %+5.0f%%\n", app.c_str(), 100.0 * (s - 1.0));
     }
     g_opts.emitReports();

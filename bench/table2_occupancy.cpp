@@ -3,12 +3,20 @@
  * Table 2: bus occupancy for network interface and memory accesses, in
  * processor cycles — measured on the live simulator (idle system, single
  * operation) and compared against the paper's specification.
+ *
+ * The rig is built through the CoherenceRegistry, so the shared
+ * --coherence/--net flags select the backend under measurement: the
+ * default snoop fabric reproduces the paper's Table 2; --coherence
+ * directory measures the same operations through the home-node
+ * directory (memory-bus placement only — directory cells for the cache
+ * and I/O buses print "-").
  */
 
 #include <cstdio>
 
-#include "bus/fabric.hpp"
+#include "coh/domain.hpp"
 #include "mem/main_memory.hpp"
+#include "net/network.hpp"
 #include "sim/cli.hpp"
 #include "sim/json.hpp"
 #include "sim/logging.hpp"
@@ -26,11 +34,14 @@ class StubDevice : public BusAgent
     onBusTxn(const BusTxn &txn) override
     {
         SnoopReply r;
-        if (NodeFabric::isNiAddr(txn.addr))
+        if (CoherenceDomain::isNiAddr(txn.addr))
             r.isHome = true;
         return r;
     }
-    bool isHome(Addr a) const override { return NodeFabric::isNiAddr(a); }
+    bool isHome(Addr a) const override
+    {
+        return CoherenceDomain::isNiAddr(a);
+    }
     const std::string &agentName() const override { return name_; }
 
   private:
@@ -60,30 +71,78 @@ class OwnerAgent : public BusAgent
     std::string name_ = "owner";
 };
 
+const cli::Options *gOpts = nullptr;
+
+/**
+ * Time one idle-system transaction through the selected coherence
+ * backend; 0 ("-" in the table) when the backend has no such placement.
+ */
 Tick
 measure(NiPlacement placement, TxnKind kind, Addr addr, Initiator init,
         Addr ownedByProc = ~Addr{0})
 {
+    MachineBuilder nb;
+    nb.nodes(1); // the rig is one node: validate what gets built
+    if (gOpts)
+        gOpts->applyNet(nb);
+    const MachineSpec ms = nb.spec();
+    // Same gate as every machine-building binary: a flag combination
+    // the builder rejects (unknown backend, directory on an unrouted
+    // fabric, dims not covering the rig) must not silently measure
+    // here either.
+    std::string why;
+    if (!ms.valid(&why))
+        cni_fatal("invalid flags for %s: %s", ms.label().c_str(),
+                  why.c_str());
+    const CoherenceTraits *traits =
+        CoherenceRegistry::instance().traits(ms.coherence);
+    cni_assert(traits != nullptr);
+    if ((placement == NiPlacement::CacheBus &&
+         !traits->supportsCachePlacement) ||
+        (placement == NiPlacement::IoBus && !traits->supportsIoPlacement))
+        return 0;
+
     EventQueue eq;
-    NodeFabric fabric(eq, "n", placement);
+    auto net =
+        NetRegistry::instance().make(ms.net.topology, eq, 1, ms.net);
+    CohBuildContext ctx{eq, 0, 1, placement, *net, "n"};
+    auto domain = CoherenceRegistry::instance().make(ms.coherence, ctx);
     MainMemory mem;
     StubDevice dev;
     OwnerAgent owner;
     owner.owned = ownedByProc;
-    fabric.membus().attach(&mem);
-    fabric.membus().attach(&owner);
-    fabric.niBus().attach(&dev);
-    Tick done = 0;
+    domain->attachHome(&mem);
+    domain->attachCache(&owner);
+    domain->attachNi(&dev);
+
+    Tick start = 0;
+    if (!traits->snooping && ownedByProc != ~Addr{0}) {
+        // A snooping bus discovers the dirty owner by broadcast; a
+        // directory only knows owners that acquired through it. Acquire
+        // the block first so the measured pull takes the real
+        // owner-forward path, and time the measured transaction from
+        // the post-warm-up clock.
+        BusTxn own;
+        own.kind = TxnKind::ReadExclusive;
+        own.addr = ownedByProc;
+        own.initiator = Initiator::Processor;
+        domain->procIssue(own, [](const SnoopResult &) {});
+        eq.run();
+        start = eq.now();
+    }
+
+    Tick done = start;
     BusTxn t;
     t.kind = kind;
     t.addr = addr;
     t.initiator = init;
     if (init == Initiator::Processor)
-        fabric.procIssue(t, [&](const SnoopResult &) { done = eq.now(); });
+        domain->procIssue(t, [&](const SnoopResult &) { done = eq.now(); });
     else
-        fabric.deviceIssue(t, [&](const SnoopResult &) { done = eq.now(); });
+        domain->deviceIssue(t,
+                            [&](const SnoopResult &) { done = eq.now(); });
     eq.run();
-    return done;
+    return done - start;
 }
 
 void
@@ -107,7 +166,9 @@ row(const char *label, Tick cache, Tick mem, Tick io, Tick specCache,
         static char buf[4][32];
         static int i = 0;
         char *b = buf[i++ % 4];
-        if (spec == 0)
+        // spec == 0: the paper defines no such cell; v == 0: the
+        // selected backend has no such placement (e.g. directory/io).
+        if (spec == 0 || v == 0)
             std::snprintf(b, 32, "%8s", "-");
         else
             std::snprintf(b, 32, "%5llu/%llu",
@@ -125,7 +186,9 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    const cli::Options opts = cli::parse(argc, argv);
+    const cli::Options opts = cli::parse(
+        argc, argv, "(--coherence/--net select the measured backend)");
+    gOpts = &opts;
     std::printf("Table 2: bus occupancy in processor cycles "
                 "(measured/paper)\n\n");
     std::printf("%-44s %10s %10s %10s\n", "operation", "cache bus",

@@ -12,7 +12,7 @@ constexpr std::uint32_t kAppbtBarrier = kAppHandlerBase + 53;
 
 struct AppbtState
 {
-    System *sys = nullptr;
+    Machine *sys = nullptr;
     AppbtParams params;
     std::vector<std::uint64_t> responses; // per node, monotonic
     std::vector<std::vector<NodeId>> neighbors;
@@ -55,7 +55,7 @@ gridNeighbors(NodeId me, int n)
 CoTask<void>
 nodeProgram(AppbtState &st, AmBarrier &bar, NodeId me)
 {
-    System &sys = *st.sys;
+    Machine &sys = *st.sys;
     std::uint64_t expected = 0;
     for (int it = 0; it < st.params.iterations; ++it) {
         co_await sys.proc(me).delay(st.params.computePerIter);
@@ -91,7 +91,7 @@ nodeProgram(AppbtState &st, AmBarrier &bar, NodeId me)
 } // namespace
 
 AppResult
-runAppbt(System &sys, const AppbtParams &p)
+runAppbt(Machine &sys, const AppbtParams &p)
 {
     auto st = std::make_unique<AppbtState>();
     st->sys = &sys;
@@ -107,7 +107,7 @@ runAppbt(System &sys, const AppbtParams &p)
         sys.msg(i).registerHandler(
             kRequestHandler,
             [&st = *st, i](const UserMsg &u) -> CoTask<void> {
-                System &sys = *st.sys;
+                Machine &sys = *st.sys;
                 co_await sys.proc(i).delay(st.params.homeServiceCycles);
                 std::vector<std::uint8_t> block(st.params.blockBytes,
                                                 std::uint8_t(i));

@@ -26,7 +26,7 @@ struct AppbtParams
     Tick homeServiceCycles = 20;   //!< protocol handler work per request
 };
 
-AppResult runAppbt(System &sys, const AppbtParams &p = {});
+AppResult runAppbt(Machine &sys, const AppbtParams &p = {});
 
 } // namespace cni
 

@@ -3,7 +3,7 @@
 namespace cni
 {
 
-AmBarrier::AmBarrier(System &sys, std::uint32_t handlerId)
+AmBarrier::AmBarrier(Machine &sys, std::uint32_t handlerId)
     : sys_(sys), handlerId_(handlerId), released_(sys.numNodes(), 0)
 {
     const int n = sys.numNodes();

@@ -16,7 +16,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/system.hpp"
+#include "core/machine.hpp"
 
 namespace cni
 {
@@ -32,7 +32,7 @@ constexpr std::uint32_t kAppHandlerBase = 1000;
 class AmBarrier
 {
   public:
-    explicit AmBarrier(System &sys, std::uint32_t handlerId);
+    explicit AmBarrier(Machine &sys, std::uint32_t handlerId);
 
     /** Enter the barrier on `node`; resumes when all nodes arrived. */
     CoTask<void> wait(NodeId node);
@@ -40,7 +40,7 @@ class AmBarrier
   private:
     CoTask<void> release();
 
-    System &sys_;
+    Machine &sys_;
     std::uint32_t handlerId_;
     int arrived_ = 0;
     std::uint64_t episode_ = 0;

@@ -13,7 +13,7 @@ constexpr std::uint32_t kEm3dBarrier = kAppHandlerBase + 32;
 
 struct Em3dState
 {
-    System *sys = nullptr;
+    Machine *sys = nullptr;
     Em3dParams params;
     /// remoteEdges[phase][node] = list of destination machine nodes, one
     /// entry per remote graph edge owned by `node` in that phase.
@@ -29,7 +29,7 @@ struct Em3dState
 CoTask<void>
 nodeProgram(Em3dState &st, AmBarrier &bar, NodeId me)
 {
-    System &sys = *st.sys;
+    Machine &sys = *st.sys;
     std::uint64_t expectedSoFar = 0;
     for (int it = 0; it < st.params.iterations; ++it) {
         for (int phase = 0; phase < 2; ++phase) { // E then H
@@ -55,7 +55,7 @@ nodeProgram(Em3dState &st, AmBarrier &bar, NodeId me)
 } // namespace
 
 AppResult
-runEm3d(System &sys, const Em3dParams &p)
+runEm3d(Machine &sys, const Em3dParams &p)
 {
     auto st = std::make_unique<Em3dState>();
     st->sys = &sys;

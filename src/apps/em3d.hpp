@@ -28,7 +28,7 @@ struct Em3dParams
     std::uint64_t seed = 777;
 };
 
-AppResult runEm3d(System &sys, const Em3dParams &p = {});
+AppResult runEm3d(Machine &sys, const Em3dParams &p = {});
 
 } // namespace cni
 

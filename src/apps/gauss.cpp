@@ -11,7 +11,7 @@ constexpr std::uint32_t kGaussBarrier = kAppHandlerBase + 22;
 
 struct GaussState
 {
-    System *sys = nullptr;
+    Machine *sys = nullptr;
     GaussParams params;
     std::vector<std::uint64_t> pivotSeen; // per node: pivots received
 };
@@ -19,7 +19,7 @@ struct GaussState
 CoTask<void>
 nodeProgram(GaussState &st, AmBarrier &bar, NodeId me)
 {
-    System &sys = *st.sys;
+    Machine &sys = *st.sys;
     const int n = sys.numNodes();
     const std::size_t rowBytes = std::size_t(st.params.columns) * 4;
     std::vector<std::uint8_t> row(rowBytes, std::uint8_t(me));
@@ -52,7 +52,7 @@ nodeProgram(GaussState &st, AmBarrier &bar, NodeId me)
 } // namespace
 
 AppResult
-runGauss(System &sys, const GaussParams &p)
+runGauss(Machine &sys, const GaussParams &p)
 {
     auto st = std::make_unique<GaussState>();
     st->sys = &sys;

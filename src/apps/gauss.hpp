@@ -22,7 +22,7 @@ struct GaussParams
     int rowsPerNode = 32;       //!< rows each node eliminates per pivot
 };
 
-AppResult runGauss(System &sys, const GaussParams &p = {});
+AppResult runGauss(Machine &sys, const GaussParams &p = {});
 
 } // namespace cni
 

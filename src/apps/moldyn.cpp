@@ -11,7 +11,7 @@ constexpr std::uint32_t kMoldynBarrier = kAppHandlerBase + 42;
 
 struct MoldynState
 {
-    System *sys = nullptr;
+    Machine *sys = nullptr;
     MoldynParams params;
     std::vector<std::uint64_t> chunksReceived; // per node, monotonic
 };
@@ -19,7 +19,7 @@ struct MoldynState
 CoTask<void>
 nodeProgram(MoldynState &st, AmBarrier &bar, NodeId me)
 {
-    System &sys = *st.sys;
+    Machine &sys = *st.sys;
     const int n = sys.numNodes();
     std::vector<std::uint8_t> chunk(st.params.reduceBytes,
                                     std::uint8_t(me));
@@ -48,7 +48,7 @@ nodeProgram(MoldynState &st, AmBarrier &bar, NodeId me)
 } // namespace
 
 AppResult
-runMoldyn(System &sys, const MoldynParams &p)
+runMoldyn(Machine &sys, const MoldynParams &p)
 {
     auto st = std::make_unique<MoldynState>();
     st->sys = &sys;

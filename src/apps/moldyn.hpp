@@ -23,7 +23,7 @@ struct MoldynParams
     Tick reduceOpCycles = 400;   //!< local combine per reduction round
 };
 
-AppResult runMoldyn(System &sys, const MoldynParams &p = {});
+AppResult runMoldyn(Machine &sys, const MoldynParams &p = {});
 
 } // namespace cni
 

@@ -21,7 +21,7 @@ struct SpsolveState
     std::vector<int> pending; // remaining in-count per element
     int completed = 0;
     int total = 0;
-    System *sys = nullptr;
+    Machine *sys = nullptr;
     SpsolveParams params;
 
     /// Elements are distributed in chunks of kChunk: successors within an
@@ -82,7 +82,7 @@ nodeProgram(SpsolveState &st, NodeId me)
 } // namespace
 
 AppResult
-runSpsolve(System &sys, const SpsolveParams &p)
+runSpsolve(Machine &sys, const SpsolveParams &p)
 {
     auto st = std::make_unique<SpsolveState>();
     st->sys = &sys;

@@ -26,7 +26,7 @@ struct SpsolveParams
 };
 
 /** Run spsolve on `sys`; spawns all node programs and runs to completion. */
-AppResult runSpsolve(System &sys, const SpsolveParams &p = {});
+AppResult runSpsolve(Machine &sys, const SpsolveParams &p = {});
 
 } // namespace cni
 

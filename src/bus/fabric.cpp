@@ -6,24 +6,10 @@
 namespace cni
 {
 
-const char *
-toString(NiPlacement p)
-{
-    switch (p) {
-      case NiPlacement::CacheBus:
-        return "cache-bus";
-      case NiPlacement::MemoryBus:
-        return "memory-bus";
-      case NiPlacement::IoBus:
-        return "io-bus";
-    }
-    return "?";
-}
-
 NodeFabric::NodeFabric(EventQueue &eq, const std::string &name,
                        NiPlacement p)
-    : eq_(eq), placement_(p), membus_(eq, name + ".membus",
-                                      BusKind::MemoryBus),
+    : CoherenceDomain(p), eq_(eq),
+      membus_(eq, name + ".membus", BusKind::MemoryBus),
       stats_(name + ".bridge")
 {
     if (p == NiPlacement::IoBus) {
@@ -49,10 +35,15 @@ NodeFabric::niBus()
     return membus_;
 }
 
-bool
-NodeFabric::isNiAddr(Addr a)
+void
+NodeFabric::mergeStats(StatSet &agg) const
 {
-    return isDeviceRegister(a) || isDeviceMemory(a);
+    // The exact order Machine::aggregateStats used before the domain
+    // API: memory bus, I/O bus, bridge — reports must not reshuffle.
+    agg.merge(membus_.stats());
+    if (iobus_)
+        agg.merge(iobus_->stats());
+    agg.merge(stats_);
 }
 
 bool
@@ -181,6 +172,25 @@ NodeFabric::crossUpstream(BusTxn txn, SnoopBus::Done done)
                         done(merged);
                 });
         });
+}
+
+void
+detail::registerSnoopDomain(CoherenceRegistry &r)
+{
+    CoherenceTraits t;
+    t.snooping = true;
+    // MBus-class electrical cap on agents sharing one bus — the limit
+    // that motivates directory protocols (ROADMAP: "snooping buses cap a
+    // node's agent count").
+    t.maxBusAgents = 15;
+    t.overFabric = false;
+    t.supportsIoPlacement = true;
+    t.supportsCachePlacement = true;
+    t.supportsSnarfing = true;
+    t.reportSection = false; // keeps legacy reports byte-identical
+    r.register_("snoop", t, [](const CohBuildContext &c) {
+        return std::make_unique<NodeFabric>(c.eq, c.name, c.placement);
+    });
 }
 
 } // namespace cni

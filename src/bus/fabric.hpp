@@ -1,7 +1,9 @@
 /**
  * @file
  * Per-node bus fabric: memory bus, optional coherent I/O bus with bridge,
- * optional cache bus, and the routing rules between them.
+ * optional cache bus, and the routing rules between them. This is the
+ * "snoop" CoherenceDomain backend (and the default): coherence is kept by
+ * bus broadcast, every attached agent snoops every transaction.
  *
  * The I/O bridge model follows Section 4.1 of the paper:
  *  - reads that cross the bridge BLOCK: they hold the memory bus for the
@@ -24,28 +26,17 @@
 #include <string>
 
 #include "bus/bus.hpp"
+#include "coh/domain.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
 
 namespace cni
 {
 
-/** Where the node's NI is attached (the paper's three placements). */
-enum class NiPlacement
-{
-    CacheBus,
-    MemoryBus,
-    IoBus,
-};
-
-const char *toString(NiPlacement p);
-
-class NodeFabric
+class NodeFabric : public CoherenceDomain
 {
   public:
     NodeFabric(EventQueue &eq, const std::string &name, NiPlacement p);
-
-    NiPlacement placement() const { return placement_; }
 
     SnoopBus &membus() { return membus_; }
     SnoopBus *iobus() { return iobus_.get(); }
@@ -54,25 +45,45 @@ class NodeFabric
     /** The bus the NI device attaches to. */
     SnoopBus &niBus();
 
+    // CoherenceDomain -------------------------------------------------------
+
+    const char *kind() const override { return "snoop"; }
+
+    int attachCache(BusAgent *agent) override
+    {
+        return membus_.attach(agent);
+    }
+
+    int attachHome(BusAgent *agent) override
+    {
+        return membus_.attach(agent);
+    }
+
+    int attachNi(BusAgent *agent) override { return niBus().attach(agent); }
+
     /**
      * Issue a processor-initiated transaction. Routes to the cache bus
      * (NI-on-cache-bus placements), across the bridge (NI on the I/O
      * bus), or onto the memory bus. `done` runs when the requester may
      * proceed (posted writes complete after the near-side occupancy).
      */
-    void procIssue(const BusTxn &txn, SnoopBus::Done done);
+    void procIssue(const BusTxn &txn, Done done) override;
 
     /**
      * Issue an NI-device-initiated transaction (coherent pulls, upgrades,
      * writebacks). With the NI on the I/O bus these cross the bridge
      * upstream so the processor cache can be snooped.
      */
-    void deviceIssue(const BusTxn &txn, SnoopBus::Done done);
+    void deviceIssue(const BusTxn &txn, Done done) override;
+
+    Tick memBusOccupiedCycles() const override
+    {
+        return membus_.occupiedCycles();
+    }
+
+    void mergeStats(StatSet &agg) const override;
 
     StatSet &stats() { return stats_; }
-
-    /** Is this address owned by the NI (register or device-homed space)? */
-    static bool isNiAddr(Addr a);
 
   private:
     void crossDownstream(BusTxn txn, SnoopBus::Done done);
@@ -80,7 +91,6 @@ class NodeFabric
     static bool isPosted(TxnKind k);
 
     EventQueue &eq_;
-    NiPlacement placement_;
     SnoopBus membus_;
     std::unique_ptr<SnoopBus> iobus_;
     std::unique_ptr<SnoopBus> cachebus_;

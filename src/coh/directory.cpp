@@ -1,0 +1,636 @@
+#include "coh/directory.hpp"
+
+#include <cstring>
+
+#include "bus/address_map.hpp"
+#include "sim/json.hpp"
+#include "sim/logging.hpp"
+
+namespace cni
+{
+
+DirectoryFabric::DirectoryFabric(EventQueue &eq, NodeId node, int numNodes,
+                                 Interconnect &net, const std::string &name)
+    : CoherenceDomain(NiPlacement::MemoryBus), eq_(eq), node_(node),
+      numNodes_(numNodes), net_(net), name_(name),
+      spec_(BusTimingSpec::memoryBus()), stats_(name + ".directory")
+{
+    net_.attachCoherence(node_, this);
+}
+
+int
+DirectoryFabric::attachCache(BusAgent *agent)
+{
+    cni_assert(agent != nullptr && agents_[kCacheSlot] == nullptr);
+    agents_[kCacheSlot] = agent;
+    return kCacheSlot;
+}
+
+int
+DirectoryFabric::attachHome(BusAgent *agent)
+{
+    cni_assert(agent != nullptr && memAgent_ == nullptr);
+    memAgent_ = agent;
+    return -1; // the home agent never issues requests
+}
+
+int
+DirectoryFabric::attachNi(BusAgent *agent)
+{
+    cni_assert(agent != nullptr && agents_[kNiSlot] == nullptr);
+    agents_[kNiSlot] = agent;
+    return kNiSlot;
+}
+
+Addr
+DirectoryFabric::globalize(Addr a) const
+{
+    // This node's private main memory is slice node_ of the global
+    // physical space; NI addresses stay node-local (their home is this
+    // node and they never appear in another node's directory).
+    if (isMainMemory(a))
+        return kGlobalMemBase + Addr(node_) * kMemSize + a;
+    return a;
+}
+
+Addr
+DirectoryFabric::localize(Addr g)
+{
+    if (g >= kGlobalMemBase)
+        return (g - kGlobalMemBase) % kMemSize;
+    return g;
+}
+
+NodeId
+DirectoryFabric::homeNodeOf(Addr a) const
+{
+    // Global memory blocks are interleaved across the machine's homes
+    // round-robin; NI space (registers, CDRs, device-homed queues) is
+    // homed at its node.
+    const Addr g = globalize(blockAlign(a));
+    if (g >= kGlobalMemBase)
+        return NodeId(((g - kGlobalMemBase) / kBlockBytes) %
+                      Addr(numNodes_));
+    return node_;
+}
+
+BusAgent *
+DirectoryFabric::homeAgentFor(Addr a) const
+{
+    return a >= kGlobalMemBase ? memAgent_ : agents_[kNiSlot];
+}
+
+void
+DirectoryFabric::procIssue(const BusTxn &txn, Done done)
+{
+    issue(txn, kCacheSlot, std::move(done));
+}
+
+void
+DirectoryFabric::deviceIssue(const BusTxn &txn, Done done)
+{
+    issue(txn, kNiSlot, std::move(done));
+}
+
+void
+DirectoryFabric::uncachedIssue(const BusTxn &txn, Done done)
+{
+    // Register space is not coherent: a point-to-point access to the NI
+    // over the node port, at the memory-bus uncached cost.
+    const bool read = txn.kind == TxnKind::UncachedRead;
+    stats_.incr(read ? "uncached_reads" : "uncached_writes");
+    const Tick occ = read ? spec_.uncachedRead : spec_.uncachedWrite;
+    const Tick start = port_.reserve(eq_.now(), occ);
+    eq_.scheduleAt(start + occ, [this, txn, done = std::move(done)] {
+        cni_assert(agents_[kNiSlot] != nullptr);
+        const SnoopReply r = agents_[kNiSlot]->onBusTxn(txn);
+        SnoopResult res;
+        res.homeFound = r.isHome;
+        res.data = r.data;
+        if (done)
+            done(res);
+    });
+}
+
+void
+DirectoryFabric::issue(const BusTxn &txn, int slot, Done done)
+{
+    if (txn.kind == TxnKind::UncachedRead ||
+        txn.kind == TxnKind::UncachedWrite) {
+        uncachedIssue(txn, std::move(done));
+        return;
+    }
+
+    Op op;
+    switch (txn.kind) {
+      case TxnKind::ReadShared:
+        op = Op::GetS;
+        stats_.incr("getS");
+        break;
+      case TxnKind::ReadExclusive:
+        op = Op::GetM;
+        stats_.incr("getM");
+        break;
+      case TxnKind::Upgrade:
+        op = Op::Upgrade;
+        stats_.incr("upgrades");
+        break;
+      case TxnKind::Writeback:
+        op = Op::Writeback;
+        stats_.incr("writebacks");
+        break;
+      default:
+        cni_fatal("%s: unroutable transaction kind", name_.c_str());
+        return;
+    }
+
+    const Addr blk = blockAlign(txn.addr);
+    const NodeId home = homeNodeOf(blk);
+    stats_.incr(home == node_ ? "local_home" : "remote_home");
+
+    const std::uint32_t id = nextReq_++;
+    pending_[id] = Pending{txn, slot, std::move(done)};
+
+    CohWire w{};
+    w.op = op;
+    w.kind = std::uint8_t(txn.kind);
+    w.flags = slot == kNiSlot ? kFromDevice : std::uint8_t(0);
+    w.agent = globalAgent(node_, slot);
+    w.reqId = id;
+    w.addr = globalize(blk); // directories key the global physical space
+
+    // The request's address phase occupies the node port; a writeback
+    // additionally carries its block out of the node.
+    const bool block = op == Op::Writeback;
+    const Tick occ = block ? spec_.blockFromProc : spec_.addressOnly;
+    const Tick start = port_.reserve(eq_.now(), occ);
+    eq_.scheduleAt(start + occ,
+                   [this, home, w, block] { sendWire(home, w, block); });
+}
+
+void
+DirectoryFabric::sendWire(NodeId dst, CohWire w, bool carriesBlock)
+{
+    if (dst == node_) {
+        eq_.scheduleIn(kLocalHopCycles,
+                       [this, w] { dispatch(w, node_); });
+        return;
+    }
+    static_assert(sizeof(CohWire) <= kBlockBytes,
+                  "protocol header must fit a block payload");
+    NetMsg m;
+    m.src = node_;
+    m.dst = dst;
+    m.lane = NetMsg::Lane::Coherence;
+    std::uint8_t buf[kBlockBytes] = {};
+    std::memcpy(buf, &w, sizeof(CohWire));
+    // Data-carrying messages occupy a full block on the wire, so link
+    // serialization sees the real transfer size.
+    m.payload.assign(buf, buf + (carriesBlock ? kBlockBytes
+                                              : sizeof(CohWire)));
+    stats_.incr("protocol_msgs");
+    net_.inject(std::move(m));
+}
+
+bool
+DirectoryFabric::netDeliver(const NetMsg &msg)
+{
+    cni_assert(msg.payload.size() >= sizeof(CohWire));
+    CohWire w;
+    std::memcpy(&w, msg.payload.data(), sizeof(CohWire));
+    dispatch(w, msg.src);
+    return true; // the coherence lane always accepts
+}
+
+void
+DirectoryFabric::dispatch(const CohWire &w, NodeId from)
+{
+    switch (w.op) {
+      case Op::GetS:
+      case Op::GetM:
+      case Op::Upgrade:
+      case Op::Writeback:
+        homeRequest(w, from);
+        return;
+      case Op::Fwd:
+      case Op::Inv:
+        peerApply(w, from);
+        return;
+      case Op::FwdAck:
+      case Op::InvAck:
+        homeAck(w, from);
+        return;
+      case Op::Grant:
+      case Op::WbAck:
+        complete(w);
+        return;
+    }
+    cni_fatal("%s: bad coherence opcode", name_.c_str());
+}
+
+BusTxn
+DirectoryFabric::reconstructTxn(const CohWire &w, TxnKind kind) const
+{
+    BusTxn txn;
+    txn.kind = kind;
+    txn.addr = localize(w.addr); // caches and agents tag local addresses
+    txn.initiator = (w.flags & kFromDevice) ? Initiator::Device
+                                            : Initiator::Processor;
+    txn.requesterId = -1;
+    return txn;
+}
+
+// ---------------------------------------------------------------------
+// Home side
+// ---------------------------------------------------------------------
+
+void
+DirectoryFabric::homeRequest(const CohWire &w, NodeId from)
+{
+    cni_assert(
+        w.addr >= kGlobalMemBase
+            ? NodeId(((w.addr - kGlobalMemBase) / kBlockBytes) %
+                     Addr(numNodes_)) == node_
+            : true);
+    DirEntry &e = dir_[w.addr];
+    if (e.busy) {
+        // The home serializes transactions per block, FIFO.
+        stats_.incr("home_queued");
+        e.waiting.emplace_back(w, from);
+        return;
+    }
+    e.busy = true;
+    startHomeTxn(w, from);
+}
+
+void
+DirectoryFabric::startHomeTxn(CohWire w, NodeId from)
+{
+    stats_.incr("home_requests");
+    // Directory lookup: an address phase on the home's port.
+    const Tick start = port_.reserve(eq_.now(), spec_.addressOnly);
+    eq_.scheduleAt(start + spec_.addressOnly,
+                   [this, w, from] { processHome(w, from); });
+}
+
+void
+DirectoryFabric::processHome(const CohWire &w, NodeId from)
+{
+    const Addr blk = w.addr;
+    DirEntry &e = dir_[blk];
+    cni_assert(e.busy);
+
+    // The home agent sees every transaction for its space, exactly as it
+    // would on a broadcast bus: main memory counts reads/writebacks, an
+    // NI home supplies from its internal caches and runs its snoop side
+    // effects (virtual polling). Skipped when the home agent *is* the
+    // requester (a bus never snoops the requester).
+    std::uint8_t homeFlags = 0;
+    BusAgent *homeAgent = homeAgentFor(blk);
+    const bool requesterIsHomeAgent =
+        nodeOf(w.agent) == node_ && blk < kGlobalMemBase &&
+        slotOf(w.agent) == kNiSlot;
+    if (homeAgent != nullptr && !requesterIsHomeAgent) {
+        const SnoopReply r =
+            homeAgent->onBusTxn(reconstructTxn(w, TxnKind(w.kind)));
+        if (r.supplied)
+            homeFlags |= kSupplied;
+        if (r.hadCopy)
+            homeFlags |= kHadCopy;
+        if (r.transferOwnership)
+            homeFlags |= kTransferOwner;
+    }
+
+    switch (w.op) {
+      case Op::Writeback: {
+        // Absorb the block; tolerate stale state (the writer may have
+        // been invalidated while the writeback was in flight).
+        if (e.owner == w.agent)
+            e.owner = -1;
+        else
+            e.sharers.erase(w.agent);
+        const Tick occ = spec_.blockFromProc;
+        const Tick start = port_.reserve(eq_.now(), occ);
+        CohWire ack{};
+        ack.op = Op::WbAck;
+        ack.reqId = w.reqId;
+        ack.addr = blk;
+        eq_.scheduleAt(start + occ, [this, from, ack, blk] {
+            sendWire(from, ack, /*carriesBlock=*/false);
+            releaseEntry(blk);
+        });
+        return;
+      }
+
+      case Op::GetS: {
+        if (e.owner >= 0 && e.owner != w.agent) {
+            // A peer cache owns the block: probe it for the data.
+            stats_.incr("fwds");
+            HomeTxn &t = inflight_[blk];
+            t.req = w;
+            t.from = from;
+            t.pendingAcks = 1;
+            t.gathered = homeFlags;
+            CohWire probe{};
+            probe.op = Op::Fwd;
+            probe.kind = std::uint8_t(TxnKind::ReadShared);
+            probe.flags = w.flags & kFromDevice;
+            probe.agent = slotOf(e.owner);
+            probe.addr = blk;
+            sendWire(nodeOf(e.owner), probe, /*carriesBlock=*/false);
+            return;
+        }
+        finishGetS(blk, w, from, homeFlags);
+        return;
+      }
+
+      case Op::GetM:
+      case Op::Upgrade: {
+        std::set<int> targets = e.sharers;
+        if (e.owner >= 0)
+            targets.insert(e.owner);
+        targets.erase(w.agent);
+        if (targets.empty()) {
+            finishExclusive(blk, w, from, homeFlags);
+            return;
+        }
+        HomeTxn &t = inflight_[blk];
+        t.req = w;
+        t.from = from;
+        t.pendingAcks = int(targets.size());
+        t.gathered = homeFlags;
+        // GetM probes apply ReadExclusive (a dirty owner supplies);
+        // Upgrade probes apply the address-only invalidation, exactly
+        // like the corresponding bus broadcasts.
+        const TxnKind probeKind = w.op == Op::GetM ? TxnKind::ReadExclusive
+                                                   : TxnKind::Upgrade;
+        for (int target : targets) {
+            stats_.incr("invs");
+            CohWire probe{};
+            probe.op = Op::Inv;
+            probe.kind = std::uint8_t(probeKind);
+            probe.flags = w.flags & kFromDevice;
+            probe.agent = slotOf(target);
+            probe.addr = blk;
+            sendWire(nodeOf(target), probe, /*carriesBlock=*/false);
+        }
+        return;
+      }
+
+      default:
+        cni_fatal("%s: bad home opcode", name_.c_str());
+    }
+}
+
+void
+DirectoryFabric::homeAck(const CohWire &w, NodeId from)
+{
+    (void)from;
+    auto it = inflight_.find(w.addr);
+    cni_assert(it != inflight_.end());
+    HomeTxn &t = it->second;
+    t.gathered |= w.flags & (kSupplied | kHadCopy | kTransferOwner);
+    cni_assert(t.pendingAcks > 0);
+    if (--t.pendingAcks > 0)
+        return;
+    const CohWire req = t.req;
+    const NodeId reqFrom = t.from;
+    const std::uint8_t gathered = t.gathered;
+    inflight_.erase(it);
+    if (req.op == Op::GetS)
+        finishGetS(w.addr, req, reqFrom, gathered);
+    else
+        finishExclusive(w.addr, req, reqFrom, gathered);
+}
+
+void
+DirectoryFabric::finishGetS(Addr blk, const CohWire &req, NodeId from,
+                            std::uint8_t gathered)
+{
+    DirEntry &e = dir_[blk];
+    const bool supplied = gathered & kSupplied;
+    const bool transfer = gathered & kTransferOwner;
+
+    // Directory update mirrors the MOESI bus transitions: a supplying
+    // owner keeps the block Owned (requester becomes a sharer) unless it
+    // passed dirty ownership along (requester becomes the owner, the old
+    // owner drops to a sharer); a stale owner that no longer had a copy
+    // is dropped and memory supplies.
+    const int oldOwner = e.owner;
+    if (oldOwner >= 0 && oldOwner != req.agent && !(gathered & kHadCopy))
+        e.owner = -1;
+    if (transfer) {
+        if (oldOwner >= 0 && oldOwner != req.agent)
+            e.sharers.insert(oldOwner);
+        e.owner = req.agent;
+        e.sharers.erase(req.agent);
+    } else if (e.owner != req.agent) {
+        e.sharers.insert(req.agent);
+    }
+
+    bool otherSharer = supplied || (gathered & kHadCopy);
+    for (int s : e.sharers) {
+        if (s != req.agent)
+            otherSharer = true;
+    }
+    if (e.owner >= 0 && e.owner != req.agent)
+        otherSharer = true;
+
+    if (supplied)
+        stats_.incr("cache_supplies");
+    else
+        stats_.incr("memory_supplies");
+
+    CohWire grant{};
+    grant.op = Op::Grant;
+    grant.reqId = req.reqId;
+    grant.addr = blk;
+    if (supplied)
+        grant.flags |= kSupplied;
+    if (otherSharer)
+        grant.flags |= kSharedCopy;
+    if (transfer)
+        grant.flags |= kTransferOwner;
+
+    // Peer supply already paid its occupancy at the peer; a home supply
+    // occupies the home port for the memory block transfer.
+    Tick occ = 0;
+    if (!supplied) {
+        occ = blk >= kGlobalMemBase
+                  ? spec_.blockFromMemory
+                  : (req.flags & kFromDevice ? spec_.blockFromProc
+                                             : spec_.blockToProc);
+    }
+    const Tick start = portStart(occ);
+    eq_.scheduleAt(start + occ, [this, from, grant, blk] {
+        sendWire(from, grant, /*carriesBlock=*/true);
+        releaseEntry(blk);
+    });
+}
+
+void
+DirectoryFabric::finishExclusive(Addr blk, const CohWire &req, NodeId from,
+                                 std::uint8_t gathered)
+{
+    DirEntry &e = dir_[blk];
+    const bool supplied = gathered & kSupplied;
+    const bool hadCopy = gathered & kHadCopy;
+    e.owner = req.agent;
+    e.sharers.clear();
+
+    if (req.op == Op::GetM) {
+        if (supplied)
+            stats_.incr("cache_supplies");
+        else
+            stats_.incr("memory_supplies");
+    }
+
+    CohWire grant{};
+    grant.op = Op::Grant;
+    grant.reqId = req.reqId;
+    grant.addr = blk;
+    if (supplied)
+        grant.flags |= kSupplied;
+    if (hadCopy)
+        grant.flags |= kSharedCopy;
+
+    // An upgrade is address-only; a GetM without a cache supplier pulls
+    // the block from the home.
+    const bool carriesBlock = req.op == Op::GetM;
+    Tick occ = 0;
+    if (carriesBlock && !supplied) {
+        occ = blk >= kGlobalMemBase
+                  ? spec_.blockFromMemory
+                  : (req.flags & kFromDevice ? spec_.blockFromProc
+                                             : spec_.blockToProc);
+    }
+    const Tick start = portStart(occ);
+    eq_.scheduleAt(start + occ, [this, from, grant, blk, carriesBlock] {
+        sendWire(from, grant, carriesBlock);
+        releaseEntry(blk);
+    });
+}
+
+void
+DirectoryFabric::releaseEntry(Addr blk)
+{
+    auto it = dir_.find(blk);
+    cni_assert(it != dir_.end() && it->second.busy);
+    DirEntry &e = it->second;
+    e.busy = false;
+    if (!e.waiting.empty()) {
+        auto [w, from] = e.waiting.front();
+        e.waiting.pop_front();
+        e.busy = true;
+        startHomeTxn(w, from);
+        return;
+    }
+    // Untracked entries are dropped so trackedBlocks() means "blocks
+    // with cached copies" (the sparse-directory follow-up will cap it).
+    if (e.owner < 0 && e.sharers.empty())
+        dir_.erase(it);
+}
+
+// ---------------------------------------------------------------------
+// Peer side
+// ---------------------------------------------------------------------
+
+void
+DirectoryFabric::peerApply(const CohWire &w, NodeId home)
+{
+    const int slot = w.agent;
+    cni_assert(slot >= 0 && slot < kAgentsPerNode &&
+               agents_[slot] != nullptr);
+    stats_.incr(w.op == Op::Fwd ? "probes_fwd" : "probes_inv");
+    const SnoopReply r =
+        agents_[slot]->onBusTxn(reconstructTxn(w, TxnKind(w.kind)));
+
+    CohWire ack{};
+    ack.op = w.op == Op::Fwd ? Op::FwdAck : Op::InvAck;
+    ack.addr = w.addr;
+    if (r.supplied) {
+        ack.flags |= kSupplied;
+        stats_.incr("probe_supplies");
+    }
+    if (r.hadCopy)
+        ack.flags |= kHadCopy;
+    if (r.transferOwnership)
+        ack.flags |= kTransferOwner;
+
+    // A supplying peer pushes the block out over its node port; a plain
+    // invalidation is address-only.
+    const Tick occ = r.supplied ? spec_.blockFromProc : spec_.addressOnly;
+    const Tick start = port_.reserve(eq_.now(), occ);
+    const bool carries = r.supplied;
+    eq_.scheduleAt(start + occ, [this, home, ack, carries] {
+        sendWire(home, ack, carries);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Requester side
+// ---------------------------------------------------------------------
+
+void
+DirectoryFabric::complete(const CohWire &w)
+{
+    auto it = pending_.find(w.reqId);
+    cni_assert(it != pending_.end());
+    Pending p = std::move(it->second);
+    pending_.erase(it);
+
+    SnoopResult res;
+    res.homeFound = true;
+    res.cacheSupplied = w.flags & kSupplied;
+    res.sharedCopy = w.flags & kSharedCopy;
+    res.ownershipTransferred = w.flags & kTransferOwner;
+
+    // A data-carrying grant fills the line over the requester's port.
+    Tick occ = 0;
+    if (w.op == Op::Grant && p.txn.kind != TxnKind::Upgrade) {
+        occ = p.slot == kCacheSlot ? spec_.blockToProc
+                                   : spec_.blockFromProc;
+    }
+    const Tick start = portStart(occ);
+    eq_.scheduleAt(start + occ, [res, done = std::move(p.done)] {
+        if (done)
+            done(res);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Reporting & registration
+// ---------------------------------------------------------------------
+
+void
+DirectoryFabric::reportCoherence(JsonWriter &w) const
+{
+    w.key("tracked_blocks").value(std::uint64_t(dir_.size()));
+    w.key("port_busy_cycles").value(std::uint64_t(port_.busyCycles));
+    w.key("port_wait_cycles").value(std::uint64_t(port_.waitCycles));
+    w.key("counters").beginObject();
+    for (const auto &[k, v] : stats_.counters())
+        w.key(k).value(v);
+    w.endObject();
+}
+
+void
+detail::registerDirectoryDomain(CoherenceRegistry &r)
+{
+    CoherenceTraits t;
+    t.snooping = false;
+    t.maxBusAgents = 0; // point-to-point: no electrical agent cap
+    t.overFabric = true;
+    // The directory replaces the bus hierarchy wholesale; bridged I/O
+    // and processor-local placements are snooping-bus arrangements.
+    t.supportsIoPlacement = false;
+    t.supportsCachePlacement = false;
+    t.supportsSnarfing = false; // snarfing rides bus broadcasts
+    t.reportSection = true;
+    r.register_("directory", t, [](const CohBuildContext &c) {
+        return std::make_unique<DirectoryFabric>(c.eq, c.node, c.numNodes,
+                                                 c.net, c.name);
+    });
+}
+
+} // namespace cni

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Home-node MOESI directory coherence — the "directory" CoherenceDomain
+ * backend (ROADMAP: "CNI on a directory machine").
+ *
+ * Instead of broadcasting every transaction on a per-node snooping bus,
+ * each cacheable block has a *home node* that tracks its owner and
+ * sharers in a directory and serializes requests to it. The machine's
+ * memory forms one global physical address space in which each node's
+ * private memory occupies a distinct slice (global block = node ×
+ * blocks-per-node + local block — the simulator's address map is
+ * per-node private, so two nodes' identical local addresses are
+ * *different* physical blocks and never falsely conflict), and global
+ * blocks are interleaved across home nodes round-robin, exactly like a
+ * NUMA directory machine's line-interleaved homes. NI device space is
+ * always homed at its own node (the device is the home agent, exactly
+ * as on the bus).
+ *
+ * Protocol messages (GetS/GetM/Upgrade/WB requests, Fwd/Inv probes,
+ * their acks, and Grant/WbAck responses) are Interconnect messages on a
+ * dedicated coherence lane: they pay the fabric's full per-hop routing
+ * and link-occupancy cost, the sharded kernel's window merging applies
+ * to them unchanged, and because every route costs >= minLatency() the
+ * conservative lookahead stays correct with zero extra machinery. The
+ * lane has no sliding-window flow control and its receivers always
+ * accept (a real machine's separate request/response virtual networks),
+ * so coherence can never deadlock behind congested NI data traffic.
+ *
+ * The protocol is a strict 4-hop, home-centric MOESI (requester -> home
+ * -> peer -> home -> requester; the 3-hop forwarding optimization is a
+ * ROADMAP follow-up). Peers reuse the exact snooping state machines:
+ * a Fwd applies onBusTxn(ReadShared) to the owner (M->O supply, or
+ * ownership transfer), an Inv applies onBusTxn(ReadExclusive/Upgrade)
+ * to each sharer — so mem/cache.* and the NI device models behave
+ * bit-identically to their bus selves, only the transport differs.
+ * The home tolerates stale directory state (an evicted owner answers a
+ * Fwd with "no copy" and memory supplies), which makes races against
+ * in-flight writebacks self-healing.
+ *
+ * Timing: each node has one memory port (a SerialResource at the
+ * Table 2 memory-bus rates) standing in for the bus: requests occupy it
+ * for the address phase, block transfers for the Table 2 block cost, at
+ * the requester, the home, and any probed peer. Its busy cycles are the
+ * node's memBusOccupiedCycles().
+ */
+
+#ifndef CNI_COH_DIRECTORY_HPP
+#define CNI_COH_DIRECTORY_HPP
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+
+#include "bus/timing.hpp"
+#include "coh/domain.hpp"
+#include "net/network.hpp"
+
+namespace cni
+{
+
+class DirectoryFabric final : public CoherenceDomain, public NiPort
+{
+  public:
+    DirectoryFabric(EventQueue &eq, NodeId node, int numNodes,
+                    Interconnect &net, const std::string &name);
+
+    // CoherenceDomain -------------------------------------------------------
+    const char *kind() const override { return "directory"; }
+    int attachCache(BusAgent *agent) override;
+    int attachHome(BusAgent *agent) override;
+    int attachNi(BusAgent *agent) override;
+    void procIssue(const BusTxn &txn, Done done) override;
+    void deviceIssue(const BusTxn &txn, Done done) override;
+    Tick memBusOccupiedCycles() const override { return port_.busyCycles; }
+    void mergeStats(StatSet &agg) const override { agg.merge(stats_); }
+    void reportCoherence(JsonWriter &w) const override;
+
+    StatSet &stats() { return stats_; }
+
+    // NiPort (coherence-lane deliveries) ------------------------------------
+    bool netDeliver(const NetMsg &msg) override;
+
+    /** Home node of an address as seen from this node (test/debug). */
+    NodeId homeNodeOf(Addr a) const;
+
+    /**
+     * This node's view of an address in the machine's global physical
+     * space: main memory is lifted into a per-node slice above
+     * kGlobalMemBase; NI space is node-local and passes through.
+     * Protocol messages carry global addresses (directory keys);
+     * probes localize them back before touching a cache.
+     */
+    Addr globalize(Addr a) const;
+    static Addr localize(Addr g);
+
+    /** Blocks this node's directory currently tracks (test/debug). */
+    std::size_t trackedBlocks() const { return dir_.size(); }
+
+  private:
+    // Two caching agents per node take part in the protocol.
+    static constexpr int kCacheSlot = 0; //!< processor cache
+    static constexpr int kNiSlot = 1;    //!< NI device (its caches)
+    static constexpr int kAgentsPerNode = 2;
+    /** Cycles for a protocol hop that stays inside the node. */
+    static constexpr Tick kLocalHopCycles = 1;
+    /**
+     * Base of the global physical memory space: far above every
+     * per-node range in bus/address_map.hpp, so globalized memory
+     * blocks can never collide with node-local NI addresses in a
+     * home's directory keys.
+     */
+    static constexpr Addr kGlobalMemBase = Addr(1) << 32;
+
+    enum class Op : std::uint8_t
+    {
+        GetS,      //!< requester -> home: coherent read for a shared copy
+        GetM,      //!< requester -> home: coherent read-to-own
+        Upgrade,   //!< requester -> home: address-only invalidation
+        Writeback, //!< requester -> home: dirty block to its home
+        Fwd,       //!< home -> owner: supply for a GetS
+        Inv,       //!< home -> sharer/owner: invalidate (GetM/Upgrade)
+        FwdAck,    //!< owner -> home: supply outcome (+ block)
+        InvAck,    //!< sharer -> home: invalidation outcome
+        Grant,     //!< home -> requester: permission (+ block)
+        WbAck,     //!< home -> requester: writeback absorbed
+    };
+
+    // CohWire::flags bits.
+    static constexpr std::uint8_t kSupplied = 1 << 0;
+    static constexpr std::uint8_t kHadCopy = 1 << 1;
+    static constexpr std::uint8_t kTransferOwner = 1 << 2;
+    static constexpr std::uint8_t kSharedCopy = 1 << 3;
+    static constexpr std::uint8_t kFromDevice = 1 << 4;
+
+    /** The protocol message, memcpy'd into the NetMsg payload. */
+    struct CohWire
+    {
+        Op op;
+        std::uint8_t kind;  //!< TxnKind the probe applies (Fwd/Inv)
+        std::uint8_t flags; //!< kSupplied | kHadCopy | ...
+        std::int32_t agent; //!< requester global agent / probe target slot
+        std::uint32_t reqId; //!< requester-side completion match
+        std::uint64_t addr;
+    };
+
+    /** A requester-side transaction awaiting its Grant/WbAck. */
+    struct Pending
+    {
+        BusTxn txn;
+        int slot = kCacheSlot;
+        Done done;
+    };
+
+    /** One home-side transaction in flight for a block. */
+    struct HomeTxn
+    {
+        CohWire req;
+        NodeId from = -1;
+        int pendingAcks = 0;
+        std::uint8_t gathered = 0; //!< OR of ack flags
+    };
+
+    /** Directory entry for one tracked block at its home. */
+    struct DirEntry
+    {
+        int owner = -1;         //!< global agent holding M/O, or -1
+        std::set<int> sharers;  //!< global agents holding S
+        bool busy = false;      //!< a transaction is being serviced
+        std::deque<std::pair<CohWire, NodeId>> waiting;
+    };
+
+    static int globalAgent(NodeId n, int slot)
+    {
+        return n * kAgentsPerNode + slot;
+    }
+    static NodeId nodeOf(int agent) { return agent / kAgentsPerNode; }
+    static int slotOf(int agent) { return agent % kAgentsPerNode; }
+
+    void issue(const BusTxn &txn, int slot, Done done);
+    void uncachedIssue(const BusTxn &txn, Done done);
+
+    /**
+     * Reserve the node port for `occ` cycles and return the start tick.
+     * Zero-cost steps (peer-supplied grants, address-only completions)
+     * bypass the port entirely — nothing crosses it, so they must not
+     * queue behind unrelated block transfers or inflate its wait/use
+     * accounting.
+     */
+    Tick portStart(Tick occ)
+    {
+        return occ > 0 ? port_.reserve(eq_.now(), occ) : eq_.now();
+    }
+
+    /** Send a protocol message (loops back locally when dst == node_). */
+    void sendWire(NodeId dst, CohWire w, bool carriesBlock);
+    void dispatch(const CohWire &w, NodeId from);
+
+    // Home side.
+    void homeRequest(const CohWire &w, NodeId from);
+    void startHomeTxn(CohWire w, NodeId from);
+    void processHome(const CohWire &w, NodeId from);
+    void homeAck(const CohWire &w, NodeId from);
+    void finishGetS(Addr blk, const CohWire &req, NodeId from,
+                    std::uint8_t gathered);
+    void finishExclusive(Addr blk, const CohWire &req, NodeId from,
+                         std::uint8_t gathered);
+    void releaseEntry(Addr blk);
+    BusAgent *homeAgentFor(Addr a) const;
+
+    // Peer side (probe application).
+    void peerApply(const CohWire &w, NodeId home);
+
+    // Requester side.
+    void complete(const CohWire &w);
+
+    BusTxn reconstructTxn(const CohWire &w, TxnKind kind) const;
+
+    EventQueue &eq_;
+    NodeId node_;
+    int numNodes_;
+    Interconnect &net_;
+    std::string name_;
+    BusTimingSpec spec_; //!< Table 2 memory-bus rates for the node port
+    SerialResource port_; //!< the node's memory path
+    BusAgent *agents_[kAgentsPerNode] = {nullptr, nullptr};
+    BusAgent *memAgent_ = nullptr; //!< main-memory home agent
+    std::uint32_t nextReq_ = 0;
+    std::map<std::uint32_t, Pending> pending_;
+    std::map<Addr, DirEntry> dir_;
+    std::map<Addr, HomeTxn> inflight_;
+    StatSet stats_;
+};
+
+} // namespace cni
+
+#endif // CNI_COH_DIRECTORY_HPP

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Protocol-agnostic coherence-domain API.
+ *
+ * A CoherenceDomain is the seam between a node's requesters (processor
+ * cache, store buffer, NI device) and whatever machinery keeps the
+ * node's memory system coherent. The paper's machines use per-node
+ * snooping buses (NodeFabric, bus/fabric.hpp — the "snoop" backend and
+ * the default); a home-node MOESI directory whose protocol messages ride
+ * the Interconnect (DirectoryFabric, coh/directory.hpp — "directory")
+ * opens the ROADMAP's "CNI on a directory machine" scenario.
+ *
+ * Requesters speak the same BusTxn/SnoopResult vocabulary to every
+ * backend: issue a transaction, get a completion callback with the
+ * supplier/sharer summary. How the permission was obtained — a bus
+ * broadcast or a GetS/GetM exchange with a home directory — is the
+ * backend's business, which is exactly what lets the caches, the
+ * processor, and the NI device models stay protocol-agnostic.
+ *
+ * Backends register by name in the CoherenceRegistry (the same pattern
+ * as NiRegistry and NetRegistry), each with a CoherenceTraits record the
+ * machine builder consults up front (a directory needs a routed fabric;
+ * a snooping bus caps its agent count; snarfing is a bus trick).
+ */
+
+#ifndef CNI_COH_DOMAIN_HPP
+#define CNI_COH_DOMAIN_HPP
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/bus.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace cni
+{
+
+class Interconnect;
+class JsonWriter;
+
+/** Where the node's NI is attached (the paper's three placements). */
+enum class NiPlacement
+{
+    CacheBus,
+    MemoryBus,
+    IoBus,
+};
+
+const char *toString(NiPlacement p);
+
+/**
+ * The coherent agents one node attaches to its domain: the processor
+ * cache, the main-memory home, and the NI device. Backends that model
+ * broadcast media may attach more (the I/O bridge); this is the count
+ * the builder validates against a snooping backend's electrical cap.
+ */
+constexpr int kCohAgentsPerNode = 3;
+
+/**
+ * One node's view of the machine's coherence protocol.
+ */
+class CoherenceDomain
+{
+  public:
+    using Done = std::function<void(const SnoopResult &)>;
+
+    explicit CoherenceDomain(NiPlacement p) : placement_(p) {}
+    virtual ~CoherenceDomain() = default;
+
+    /** Backend name as registered ("snoop", "directory", ...). */
+    virtual const char *kind() const = 0;
+
+    NiPlacement placement() const { return placement_; }
+
+    // Agent attachment (by role) -------------------------------------------
+
+    /** Attach the processor cache; returns its requester id. */
+    virtual int attachCache(BusAgent *agent) = 0;
+
+    /** Attach the main-memory home agent. */
+    virtual int attachHome(BusAgent *agent) = 0;
+
+    /** Attach the NI device; returns its requester id. */
+    virtual int attachNi(BusAgent *agent) = 0;
+
+    // Transaction issue -----------------------------------------------------
+
+    /**
+     * Issue a processor-initiated transaction (uncached register
+     * accesses, coherent reads/upgrades/writebacks). `done` runs when
+     * the requester may proceed.
+     */
+    virtual void procIssue(const BusTxn &txn, Done done) = 0;
+
+    /**
+     * Issue an NI-device-initiated transaction (coherent pulls,
+     * upgrades, writebacks of queue blocks).
+     */
+    virtual void deviceIssue(const BusTxn &txn, Done done) = 0;
+
+    // Occupancy + stats -----------------------------------------------------
+
+    /**
+     * Cycles the node's memory path was occupied by coherence traffic —
+     * the Section 5.2 comparison metric (memory-bus hold time under
+     * snooping; memory-port reservation time under a directory).
+     */
+    virtual Tick memBusOccupiedCycles() const = 0;
+
+    /** Merge every per-backend StatSet into a machine aggregate. */
+    virtual void mergeStats(StatSet &agg) const = 0;
+
+    /**
+     * Backend-specific keys for this node's entry in the report's
+     * "coherence" section. Only called when the backend's traits set
+     * `reportSection` (the snoop default contributes nothing, keeping
+     * pre-registry reports byte-identical).
+     */
+    virtual void reportCoherence(JsonWriter &w) const;
+
+    /** Is this address owned by the NI (register or device-homed space)? */
+    static bool isNiAddr(Addr a);
+
+  protected:
+    NiPlacement placement_;
+};
+
+/**
+ * Capabilities and constraints of one coherence backend, consulted by
+ * the machine builder when validating a description.
+ */
+struct CoherenceTraits
+{
+    bool snooping = true; //!< broadcast medium: every agent sees every txn
+    /**
+     * For snooping backends: the electrical cap on agents sharing one
+     * bus (0 = uncapped). The builder checks the node's attachment plan
+     * (kCohAgentsPerNode) against it — the constraint that motivates
+     * directory protocols in the first place.
+     */
+    int maxBusAgents = 0;
+    /**
+     * Protocol messages ride the Interconnect (directory GetS/GetM/Inv
+     * traffic). Requires a routed fabric (NetTraits::routed) so the
+     * messages have per-hop timing, and participates in the sharded
+     * kernel's minLatency() lookahead for free.
+     */
+    bool overFabric = false;
+    bool supportsIoPlacement = true;    //!< can bridge to a coherent I/O bus
+    bool supportsCachePlacement = true; //!< can serve a processor-local bus
+    bool supportsSnarfing = true; //!< writeback snarfing (a snooping trick)
+    /**
+     * Contributes a "coherence" section to Machine::report(). The snoop
+     * backend leaves this false: its stats already flow through the bus
+     * StatSets, and legacy reports must stay byte-identical.
+     */
+    bool reportSection = false;
+};
+
+/** Everything a factory needs to construct one node's domain. */
+struct CohBuildContext
+{
+    EventQueue &eq;     //!< the node's queue (shard or global)
+    NodeId node;
+    int numNodes;
+    NiPlacement placement;
+    Interconnect &net;  //!< fabric for overFabric backends
+    std::string name;   //!< instance name, e.g. "node3"
+};
+
+/**
+ * Name-keyed factory registry for coherence backends — the same pattern
+ * as NiRegistry/NetRegistry, so out-of-tree protocols plug in without
+ * touching core code:
+ *
+ *   namespace { const CoherenceRegistrar reg("myproto",
+ *       CoherenceTraits{...},
+ *       [](const CohBuildContext &c) { return std::make_unique<My>(...); });
+ *   }
+ */
+class CoherenceRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<CoherenceDomain>(
+        const CohBuildContext &)>;
+
+    /** The process-wide registry (builtin backends are ensured here). */
+    static CoherenceRegistry &instance();
+
+    /** Register a backend; re-registering a name replaces it. */
+    void register_(const std::string &name, CoherenceTraits traits,
+                   Factory fn);
+
+    bool known(const std::string &name) const;
+
+    /** Traits for `name`, or nullptr when unknown. */
+    const CoherenceTraits *traits(const std::string &name) const;
+
+    /**
+     * Construct one node's domain. Fatal (with the list of registered
+     * backends) on an unknown name — an unknown protocol is a
+     * configuration error.
+     */
+    std::unique_ptr<CoherenceDomain> make(const std::string &name,
+                                          const CohBuildContext &ctx) const;
+
+    /** Registered backend names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Comma-separated backend names, for error messages. */
+    std::string namesCsv() const;
+
+  private:
+    struct Entry
+    {
+        CoherenceTraits traits;
+        Factory factory;
+    };
+
+    std::map<std::string, Entry> entries_;
+};
+
+/** Registers a backend at static-initialization time (out-of-tree). */
+struct CoherenceRegistrar
+{
+    CoherenceRegistrar(const char *name, CoherenceTraits traits,
+                       CoherenceRegistry::Factory fn);
+};
+
+namespace detail
+{
+// Self-registration hooks of the builtin backends, defined next to each
+// implementation (bus/fabric.cpp, coh/directory.cpp). Called once from
+// CoherenceRegistry::instance() so a static-library link never drops
+// them.
+void registerSnoopDomain(CoherenceRegistry &r);
+void registerDirectoryDomain(CoherenceRegistry &r);
+} // namespace detail
+
+} // namespace cni
+
+#endif // CNI_COH_DOMAIN_HPP

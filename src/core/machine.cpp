@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "bus/fabric.hpp"
 #include "ni/registry.hpp"
 #include "sim/json.hpp"
 #include "sim/logging.hpp"
@@ -62,6 +63,10 @@ MachineSpec::label() const
         s += "/";
         s += net.topology;
     }
+    if (coherence != "snoop") {
+        s += "/";
+        s += coherence;
+    }
     return s;
 }
 
@@ -81,6 +86,46 @@ MachineSpec::valid(std::string *why) const
         return fail("unknown interconnect '" + net.topology +
                     "' (registered models: " +
                     NetRegistry::instance().namesCsv() + ")");
+    }
+
+    const CoherenceTraits *coh =
+        CoherenceRegistry::instance().traits(coherence);
+    if (!coh) {
+        return fail("unknown coherence backend '" + coherence +
+                    "' (registered backends: " +
+                    CoherenceRegistry::instance().namesCsv() + ")");
+    }
+    if (coh->overFabric &&
+        !NetRegistry::instance().traits(net.topology)->routed) {
+        return fail("coherence backend '" + coherence +
+                    "' routes its protocol over the fabric and needs a "
+                    "routed interconnect (mesh, torus, xbar), not '" +
+                    net.topology + "'");
+    }
+    if (!coh->supportsIoPlacement && placement == NiPlacement::IoBus) {
+        return fail("coherence backend '" + coherence +
+                    "' has no bridged I/O bus: place the NI on the "
+                    "memory bus");
+    }
+    if (!coh->supportsCachePlacement &&
+        placement == NiPlacement::CacheBus) {
+        return fail("coherence backend '" + coherence +
+                    "' has no processor-local bus: place the NI on the "
+                    "memory bus");
+    }
+    if (!coh->supportsSnarfing && snarfing) {
+        return fail("writeback snarfing rides snooping-bus broadcasts: "
+                    "coherence backend '" + coherence +
+                    "' cannot provide it");
+    }
+    if (coh->snooping && coh->maxBusAgents > 0 &&
+        kCohAgentsPerNode > coh->maxBusAgents) {
+        return fail("a node attaches " +
+                    std::to_string(kCohAgentsPerNode) +
+                    " coherent agents but backend '" + coherence +
+                    "' caps one bus at " +
+                    std::to_string(coh->maxBusAgents) +
+                    " (pick a directory backend)");
     }
     if (net.window < 1)
         return fail("the sliding window needs at least one slot");
@@ -208,18 +253,20 @@ Machine::Machine(MachineSpec spec) : spec_(std::move(spec))
         // shard queue under the sharded kernel, the global one otherwise.
         EventQueue &neq = eq(id);
         node->mem = std::make_unique<NodeMemory>();
-        node->fabric =
-            std::make_unique<NodeFabric>(neq, name, spec_.placement);
+        CohBuildContext cohCtx{neq,  id,   spec_.numNodes,
+                               spec_.placement, *net_, name};
+        node->coh =
+            CoherenceRegistry::instance().make(spec_.coherence, cohCtx);
         node->mainMem = std::make_unique<MainMemory>(name + ".memory");
-        node->fabric->membus().attach(node->mainMem.get());
-        node->proc = std::make_unique<Proc>(neq, id, *node->fabric,
+        node->coh->attachHome(node->mainMem.get());
+        node->proc = std::make_unique<Proc>(neq, id, *node->coh,
                                             *node->mem, name + ".proc");
         if (spec_.snarfing)
             node->proc->cache().setSnarfing(true);
 
         NiBuildContext ctx{neq,
                            id,
-                           *node->fabric,
+                           *node->coh,
                            *net_,
                            *node->mem,
                            name + "." + ns.ni,
@@ -285,7 +332,7 @@ Machine::memBusOccupiedCycles() const
 {
     Tick total = 0;
     for (const auto &n : nodes_)
-        total += n->fabric->membus().occupiedCycles();
+        total += n->coh->memBusOccupiedCycles();
     return total;
 }
 
@@ -294,10 +341,7 @@ Machine::aggregateStats() const
 {
     StatSet agg("machine");
     for (const auto &n : nodes_) {
-        agg.merge(n->fabric->membus().stats());
-        if (n->fabric->iobus())
-            agg.merge(n->fabric->iobus()->stats());
-        agg.merge(n->fabric->stats());
+        n->coh->mergeStats(agg);
         agg.merge(n->proc->cache().stats());
         agg.merge(n->proc->stats());
         agg.merge(n->ni->stats());
@@ -361,6 +405,26 @@ Machine::report() const
         .value(net_->stats().counter("retry_wait_cycles"));
     net_->reportTopology(w); // model-specific: links, ports, dims
     w.endObject(); // net
+
+    // The "coherence" section is backend-provided. The snoop default
+    // contributes none (its traits leave reportSection off): its stats
+    // already flow through the bus StatSets, and pre-registry reports
+    // must stay byte-identical.
+    const CoherenceTraits *ct =
+        CoherenceRegistry::instance().traits(spec_.coherence);
+    if (ct && ct->reportSection) {
+        w.key("coherence").beginObject();
+        w.key("kind").value(spec_.coherence);
+        w.key("nodes").beginArray();
+        for (NodeId id = 0; id < spec_.numNodes; ++id) {
+            w.beginObject();
+            w.key("node").value(id);
+            nodes_[id]->coh->reportCoherence(w);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject(); // coherence
+    }
 
     // The kernel section deliberately omits the host thread count: it
     // holds only thread-count-independent values, so reports from

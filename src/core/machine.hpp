@@ -33,7 +33,7 @@
 #include <string>
 #include <vector>
 
-#include "bus/fabric.hpp"
+#include "coh/domain.hpp"
 #include "core/taxonomy.hpp"
 #include "mem/main_memory.hpp"
 #include "mem/node_memory.hpp"
@@ -80,6 +80,13 @@ struct MachineSpec
     NiPlacement placement = NiPlacement::MemoryBus;
     bool snarfing = false; //!< processor caches snarf writebacks (Qm)
     NetParams net;         //!< interconnect model + runtime knobs
+    /**
+     * Coherence backend, by CoherenceRegistry name. "snoop" (default):
+     * the paper's per-node snooping buses; "directory": a home-node
+     * MOESI directory whose protocol messages ride the interconnect
+     * (requires a routed fabric and memory-bus NI placement).
+     */
+    std::string coherence = "snoop";
     /**
      * Simulation kernel selection. 0 (default): the classic serial
      * kernel — one global-order event queue, the paper-exact execution
@@ -140,6 +147,16 @@ class MachineBuilder
 
     /** Placement by name: "memory"/"memory-bus", "io", "cache". */
     MachineBuilder &placement(const std::string &name);
+
+    // Coherence -------------------------------------------------------------
+
+    /** Coherence backend by CoherenceRegistry name: snoop|directory. */
+    MachineBuilder &
+    coherence(const std::string &backend)
+    {
+        spec_.coherence = backend;
+        return *this;
+    }
 
     // Interconnect ----------------------------------------------------------
 
@@ -328,7 +345,9 @@ class Machine
     Proc &proc(NodeId n) { return *node(n).proc; }
     NetIface &ni(NodeId n) { return *node(n).ni; }
     NodeMemory &mem(NodeId n) { return *node(n).mem; }
-    NodeFabric &fabric(NodeId n) { return *node(n).fabric; }
+
+    /** Node `n`'s coherence domain (snooping fabric, directory, ...). */
+    CoherenceDomain &coherence(NodeId n) { return *node(n).coh; }
 
     /**
      * The messaging facade for context `ctx` of node `n` — typed
@@ -383,7 +402,7 @@ class Machine
     struct Node
     {
         std::unique_ptr<NodeMemory> mem;
-        std::unique_ptr<NodeFabric> fabric;
+        std::unique_ptr<CoherenceDomain> coh;
         std::unique_ptr<MainMemory> mainMem;
         std::unique_ptr<Proc> proc;
         std::unique_ptr<NetIface> ni;

@@ -6,7 +6,9 @@ namespace cni::detail
 void
 registerIdealNet(NetRegistry &r)
 {
-    r.register_("ideal",
+    // The paper's fixed-latency pipe: no routed paths, so protocol
+    // traffic (directory coherence) has nothing to occupy — not routed.
+    r.register_("ideal", NetTraits{/*routed=*/false},
                 [](EventQueue &eq, int n, const NetParams &p) {
                     return std::make_unique<IdealNet>(eq, n, p);
                 });

@@ -9,6 +9,7 @@ namespace cni
 Interconnect::Interconnect(EventQueue &eq, int numNodes, NetParams params)
     : eq_(eq), params_(std::move(params)), stats_("network"),
       numNodes_(numNodes), ports_(numNodes, nullptr),
+      cohPorts_(numNodes, nullptr),
       inFlight_(numNodes, std::vector<int>(numNodes, 0)),
       arrivalQ_(numNodes), pumping_(numNodes, false)
 {
@@ -68,6 +69,14 @@ Interconnect::attach(NodeId node, NiPort *port)
     ports_[node] = port;
 }
 
+void
+Interconnect::attachCoherence(NodeId node, NiPort *port)
+{
+    cni_assert(node >= 0 && node < numNodes_);
+    cni_assert(cohPorts_[node] == nullptr);
+    cohPorts_[node] = port;
+}
+
 bool
 Interconnect::canInject(NodeId src, NodeId dst) const
 {
@@ -80,6 +89,30 @@ Interconnect::inject(NetMsg msg)
     cni_assert(msg.src >= 0 && msg.src < numNodes_);
     cni_assert(msg.dst >= 0 && msg.dst < numNodes_);
     cni_assert(msg.payload.size() <= kNetworkPayloadBytes);
+
+    if (msg.lane == NetMsg::Lane::Coherence) {
+        // Coherence lane: no sliding window, no ack — protocol messages
+        // must never be throttled by data traffic (deadlock freedom).
+        // They still pay the model's full routing/occupancy cost, which
+        // is >= minLatency(), so the sharded kernel's lookahead holds;
+        // in sharded mode the route is resolved at the barrier like any
+        // other message. Stats stay with the issuing CoherenceDomain so
+        // "injected"/"delivered" keep meaning user messages.
+        if (shards_) {
+            const Tick at = shards_->shardNow(msg.src);
+            shards_->postBarrier(
+                msg.src, [this, at, m = std::move(msg)](Tick wEnd) mutable {
+                    routeFromBarrier(std::move(m), at, wEnd);
+                });
+            return;
+        }
+        const Tick delay = routeDelay(msg, eq_.now());
+        eq_.scheduleIn(delay, [this, m = std::move(msg)]() mutable {
+            deliverArrival(std::move(m));
+        });
+        return;
+    }
+
     cni_assert(canInject(msg.src, msg.dst));
 
     ++inFlight_[msg.src][msg.dst];
@@ -132,6 +165,16 @@ void
 Interconnect::deliverArrival(NetMsg msg)
 {
     const NodeId dst = msg.dst;
+    if (msg.lane == NetMsg::Lane::Coherence) {
+        // Own lane: delivered immediately (the domain queues internally
+        // and always accepts), never behind a refused data head.
+        NiPort *port = cohPorts_[dst];
+        cni_assert(port != nullptr);
+        const bool accepted = port->netDeliver(msg);
+        cni_assert(accepted);
+        (void)accepted;
+        return;
+    }
     arrivalQ_[dst].push_back(std::move(msg));
     pumpArrivals(dst);
 }
@@ -214,15 +257,23 @@ NetRegistry::instance()
 }
 
 void
-NetRegistry::register_(const std::string &name, Factory fn)
+NetRegistry::register_(const std::string &name, NetTraits traits,
+                       Factory fn)
 {
-    entries_[name] = std::move(fn);
+    entries_[name] = Entry{traits, std::move(fn)};
 }
 
 bool
 NetRegistry::known(const std::string &name) const
 {
     return entries_.count(name) != 0;
+}
+
+const NetTraits *
+NetRegistry::traits(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : &it->second.traits;
 }
 
 std::unique_ptr<Interconnect>
@@ -234,14 +285,14 @@ NetRegistry::make(const std::string &name, EventQueue &eq, int numNodes,
         cni_fatal("unknown interconnect '%s' (registered models: %s)",
                   name.c_str(), namesCsv().c_str());
     }
-    return it->second(eq, numNodes, params);
+    return it->second.factory(eq, numNodes, params);
 }
 
 std::vector<std::string>
 NetRegistry::names() const
 {
     std::vector<std::string> out;
-    for (const auto &[name, fn] : entries_)
+    for (const auto &[name, e] : entries_)
         out.push_back(name);
     return out;
 }
@@ -250,7 +301,7 @@ std::string
 NetRegistry::namesCsv() const
 {
     std::string csv;
-    for (const auto &[name, fn] : entries_) {
+    for (const auto &[name, e] : entries_) {
         if (!csv.empty())
             csv += ", ";
         csv += name;
@@ -258,9 +309,10 @@ NetRegistry::namesCsv() const
     return csv;
 }
 
-NetRegistrar::NetRegistrar(const char *name, NetRegistry::Factory fn)
+NetRegistrar::NetRegistrar(const char *name, NetTraits traits,
+                           NetRegistry::Factory fn)
 {
-    NetRegistry::instance().register_(name, std::move(fn));
+    NetRegistry::instance().register_(name, traits, std::move(fn));
 }
 
 } // namespace cni

@@ -59,12 +59,28 @@ class JsonWriter;
  */
 struct NetMsg
 {
+    /**
+     * Virtual network a message travels on. Data messages share the
+     * sliding-window flow control and per-destination in-order arrival
+     * queues; coherence messages (directory GetS/GetM/Inv/... traffic)
+     * ride a dedicated lane with neither — their receivers always
+     * accept, which keeps the protocol deadlock-free even when the NI
+     * lane is backed up, exactly like a real machine's separate
+     * request/response virtual networks.
+     */
+    enum class Lane : std::uint8_t
+    {
+        Data,
+        Coherence,
+    };
+
     NodeId src = -1;
     NodeId dst = -1;
     std::uint32_t handler = 0;   //!< active-message handler index
     std::uint16_t fragIndex = 0; //!< fragment number within a user message
     std::uint16_t fragCount = 1; //!< total fragments of the user message
     std::uint8_t ctx = 0;        //!< receiving process / queue context
+    Lane lane = Lane::Data;      //!< virtual network (see above)
     std::uint32_t seq = 0;       //!< sender sequence (fragment reassembly)
     std::uint64_t userTag = 0;   //!< opaque user word (timestamps in tests)
     MsgPayload payload;          //!< <= kNetworkPayloadBytes, inline
@@ -166,12 +182,22 @@ class Interconnect
 
     void attach(NodeId node, NiPort *port);
 
+    /**
+     * Attach the coherence-lane receiver for `node` (a directory-backed
+     * CoherenceDomain). Lane::Coherence messages deliver here, bypassing
+     * the data lane's window flow control and arrival queues; the port
+     * must always accept.
+     */
+    void attachCoherence(NodeId node, NiPort *port);
+
     /** May `src` inject another message toward `dst` right now? */
     bool canInject(NodeId src, NodeId dst) const;
 
     /**
-     * Inject a message (window space must be available). Delivery is
-     * attempted routeDelay() cycles later.
+     * Inject a message (for Lane::Data, window space must be
+     * available). Delivery is attempted routeDelay() cycles later;
+     * coherence-lane messages share the same routing/occupancy model, so
+     * minLatency() bounds them too.
      */
     void inject(NetMsg msg);
 
@@ -256,6 +282,7 @@ class Interconnect
 
     int numNodes_;
     std::vector<NiPort *> ports_;
+    std::vector<NiPort *> cohPorts_; //!< coherence-lane receivers
     std::vector<std::unique_ptr<WaitChannel>> windowCh_;
     /// In-flight (unacknowledged) messages per [src][dst]. Written by
     /// the source's shard only: inject() runs on it, and the
@@ -280,11 +307,26 @@ class Interconnect
 using Network = Interconnect;
 
 /**
+ * Capabilities of one interconnect model, consulted by the machine
+ * builder (a directory-backed coherence domain needs a routed fabric).
+ */
+struct NetTraits
+{
+    /**
+     * Point-to-point routed fabric with per-hop/per-port timing (mesh,
+     * torus, xbar) — as opposed to the paper's idealized fixed-latency
+     * pipe, which has no notion of a path for protocol messages to
+     * occupy.
+     */
+    bool routed = false;
+};
+
+/**
  * Name-keyed factory registry for interconnect models — the same
  * pattern NiRegistry uses for NI devices, so out-of-tree fabrics plug
  * in without touching core code:
  *
- *   namespace { const NetRegistrar reg("mynet",
+ *   namespace { const NetRegistrar reg("mynet", NetTraits{...},
  *       [](EventQueue &eq, int n, const NetParams &p) {
  *           return std::make_unique<MyNet>(eq, n, p); });
  *   }
@@ -299,9 +341,12 @@ class NetRegistry
     static NetRegistry &instance();
 
     /** Register a model; re-registering a name replaces it. */
-    void register_(const std::string &name, Factory fn);
+    void register_(const std::string &name, NetTraits traits, Factory fn);
 
     bool known(const std::string &name) const;
+
+    /** Traits for `name`, or nullptr when unknown. */
+    const NetTraits *traits(const std::string &name) const;
 
     /**
      * Construct a fabric. Fatal (with the list of registered models) on
@@ -318,13 +363,20 @@ class NetRegistry
     std::string namesCsv() const;
 
   private:
-    std::map<std::string, Factory> entries_;
+    struct Entry
+    {
+        NetTraits traits;
+        Factory factory;
+    };
+
+    std::map<std::string, Entry> entries_;
 };
 
 /** Registers a model at static-initialization time (out-of-tree nets). */
 struct NetRegistrar
 {
-    NetRegistrar(const char *name, NetRegistry::Factory fn);
+    NetRegistrar(const char *name, NetTraits traits,
+                 NetRegistry::Factory fn);
 };
 
 namespace detail

@@ -67,9 +67,10 @@ namespace detail
 void
 registerCrossbarNet(NetRegistry &r)
 {
-    r.register_("xbar", [](EventQueue &eq, int n, const NetParams &p) {
-        return std::make_unique<CrossbarNet>(eq, n, p);
-    });
+    r.register_("xbar", NetTraits{/*routed=*/true},
+                [](EventQueue &eq, int n, const NetParams &p) {
+                    return std::make_unique<CrossbarNet>(eq, n, p);
+                });
 }
 
 } // namespace detail

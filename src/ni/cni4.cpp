@@ -17,16 +17,16 @@ blocksForWire(std::size_t wireBytes)
 }
 } // namespace
 
-Cni4::Cni4(EventQueue &eq, NodeId node, NodeFabric &fabric, Network &net,
+Cni4::Cni4(EventQueue &eq, NodeId node, CoherenceDomain &coh, Network &net,
            NodeMemory &mem, const std::string &name)
-    : NetIface(eq, node, fabric, net, mem, name),
+    : NetIface(eq, node, coh, net, mem, name),
       devCache_(eq, name + ".devcache", 2 * kCdrBlocks, Initiator::Device)
 {
     devCache_.setIssuePort([this](const BusTxn &txn,
                                   std::function<void(SnoopResult)> done) {
         BusTxn t = txn;
         t.requesterId = busId_;
-        fabric_.deviceIssue(t, std::move(done));
+        coh_.deviceIssue(t, std::move(done));
     });
     // The device owns its CDR storage at reset.
     for (int b = 0; b < kCdrBlocks; ++b) {
@@ -98,7 +98,7 @@ Cni4::tryRecv(Proc &p, NetMsg &out, int)
 SnoopReply
 Cni4::onBusTxn(const BusTxn &txn)
 {
-    if (!NodeFabric::isNiAddr(txn.addr))
+    if (!CoherenceDomain::isNiAddr(txn.addr))
         return {};
 
     if (isDeviceRegister(txn.addr)) {
@@ -255,7 +255,7 @@ detail::registerCni4Model(NiRegistry &r)
     t.queueBased = false;
     t.memoryHomedRecv = false;
     r.register_("CNI4", t, [](const NiBuildContext &c) {
-        return std::make_unique<Cni4>(c.eq, c.node, c.fabric, c.net, c.mem,
+        return std::make_unique<Cni4>(c.eq, c.node, c.coh, c.net, c.mem,
                                       c.name);
     });
 }

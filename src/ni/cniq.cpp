@@ -56,14 +56,14 @@ CniqConfig::preset(const std::string &model)
     return std::nullopt;
 }
 
-Cniq::Cniq(EventQueue &eq, NodeId node, NodeFabric &fabric, Network &net,
+Cniq::Cniq(EventQueue &eq, NodeId node, CoherenceDomain &coh, Network &net,
            NodeMemory &mem, const std::string &name, CniqConfig cfg)
-    : NetIface(eq, node, fabric, net, mem, name), cfg_(std::move(cfg))
+    : NetIface(eq, node, coh, net, mem, name), cfg_(std::move(cfg))
 {
     cni_assert(cfg_.sendQueueBlocks % kBlocksPerSlot == 0);
     cni_assert(cfg_.recvQueueBlocks % kBlocksPerSlot == 0);
     cni_assert(!cfg_.recvHomeMemory ||
-               fabric.placement() == NiPlacement::MemoryBus);
+               coh.placement() == NiPlacement::MemoryBus);
 
     ctxs_.resize(cfg_.numContexts);
     for (auto &c : ctxs_)
@@ -73,7 +73,7 @@ Cniq::Cniq(EventQueue &eq, NodeId node, NodeFabric &fabric, Network &net,
                            std::function<void(SnoopResult)> done) {
         BusTxn t = txn;
         t.requesterId = busId_;
-        fabric_.deviceIssue(t, std::move(done));
+        coh_.deviceIssue(t, std::move(done));
     };
 
     sendCache_ = std::make_unique<Cache>(
@@ -307,7 +307,7 @@ Cniq::onBusTxn(const BusTxn &txn)
             return recvCache_->onBusTxn(txn);
         return {};
     }
-    if (!NodeFabric::isNiAddr(txn.addr))
+    if (!CoherenceDomain::isNiAddr(txn.addr))
         return {};
 
     if (isDeviceRegister(txn.addr)) {
@@ -519,7 +519,7 @@ detail::registerCniqModels(NiRegistry &r)
         r.register_(name, t, [preset](const NiBuildContext &c) {
             CniqConfig qc = c.cniqOverride ? *c.cniqOverride : preset;
             qc.numContexts = c.numContexts;
-            return std::make_unique<Cniq>(c.eq, c.node, c.fabric, c.net,
+            return std::make_unique<Cniq>(c.eq, c.node, c.coh, c.net,
                                           c.mem, c.name, qc);
         });
     }

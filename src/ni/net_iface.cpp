@@ -7,9 +7,9 @@
 namespace cni
 {
 
-NetIface::NetIface(EventQueue &eq, NodeId node, NodeFabric &fabric,
+NetIface::NetIface(EventQueue &eq, NodeId node, CoherenceDomain &coh,
                    Network &net, NodeMemory &mem, std::string name)
-    : eq_(eq), node_(node), fabric_(fabric), net_(net), mem_(mem),
+    : eq_(eq), node_(node), coh_(coh), net_(net), mem_(mem),
       name_(std::move(name)), stats_(name_), kickCh_(eq), injectCh_(eq)
 {
     net_.attach(node, this);
@@ -22,12 +22,12 @@ NetIface::devTxn(TxnKind kind, Addr a)
     txn.kind = kind;
     txn.addr = a;
     txn.initiator = Initiator::Device;
-    // The device's requester id on its own bus is set by the subclass at
-    // attach time via the fabric; the fabric rewrites ids when crossing.
+    // The device's requester id is assigned at attach time by the
+    // domain; a bridging backend rewrites ids when crossing buses.
     txn.requesterId = busId_;
     return ValueCompletion<SnoopResult>(
         [this, txn](std::function<void(SnoopResult)> done) {
-            fabric_.deviceIssue(txn, std::move(done));
+            coh_.deviceIssue(txn, std::move(done));
         });
 }
 

@@ -27,7 +27,7 @@
 #include <string>
 
 #include "bus/bus.hpp"
-#include "bus/fabric.hpp"
+#include "coh/domain.hpp"
 #include "mem/node_memory.hpp"
 #include "net/network.hpp"
 #include "ni/params.hpp"
@@ -41,8 +41,8 @@ namespace cni
 class NetIface : public BusAgent, public NiPort
 {
   public:
-    NetIface(EventQueue &eq, NodeId node, NodeFabric &fabric, Network &net,
-             NodeMemory &mem, std::string name);
+    NetIface(EventQueue &eq, NodeId node, CoherenceDomain &coh,
+             Network &net, NodeMemory &mem, std::string name);
     ~NetIface() override = default;
 
     // Software driver API --------------------------------------------------
@@ -76,7 +76,7 @@ class NetIface : public BusAgent, public NiPort
     bool
     isHome(Addr a) const override
     {
-        return NodeFabric::isNiAddr(a);
+        return CoherenceDomain::isNiAddr(a);
     }
 
     const std::string &agentName() const override { return name_; }
@@ -89,14 +89,14 @@ class NetIface : public BusAgent, public NiPort
     const NetParams &netParams() const { return net_.params(); }
 
     /**
-     * Attach this device to the NI bus of its fabric and start its
+     * Attach this device to its node's coherence domain and start its
      * engine. Must be called exactly once, after construction completes
      * (the engine virtually dispatches into the derived class).
      */
     void
     attachToBus()
     {
-        busId_ = fabric_.niBus().attach(this);
+        busId_ = coh_.attachNi(this);
         // The device owns its service coroutines: they loop forever, so
         // the frames are reclaimed by ~NetIface rather than leaking.
         engines_.push_back(engineLoop());
@@ -115,7 +115,7 @@ class NetIface : public BusAgent, public NiPort
      */
     virtual CoTask<bool> engineStep() = 0;
 
-    /** Issue a device-initiated bus transaction through the fabric. */
+    /** Issue a device-initiated transaction through the domain. */
     ValueCompletion<SnoopResult> devTxn(TxnKind kind, Addr a);
 
     /**
@@ -132,7 +132,7 @@ class NetIface : public BusAgent, public NiPort
 
     EventQueue &eq_;
     NodeId node_;
-    NodeFabric &fabric_;
+    CoherenceDomain &coh_;
     Network &net_;
     NodeMemory &mem_;
     std::string name_;

@@ -6,9 +6,9 @@
 namespace cni
 {
 
-Ni2w::Ni2w(EventQueue &eq, NodeId node, NodeFabric &fabric, Network &net,
+Ni2w::Ni2w(EventQueue &eq, NodeId node, CoherenceDomain &coh, Network &net,
            NodeMemory &mem, const std::string &name)
-    : NetIface(eq, node, fabric, net, mem, name)
+    : NetIface(eq, node, coh, net, mem, name)
 {
 }
 
@@ -70,7 +70,7 @@ SnoopReply
 Ni2w::onBusTxn(const BusTxn &txn)
 {
     SnoopReply r;
-    if (!NodeFabric::isNiAddr(txn.addr))
+    if (!CoherenceDomain::isNiAddr(txn.addr))
         return r;
     r.isHome = true;
     switch (txn.kind) {
@@ -125,7 +125,7 @@ detail::registerNi2wModel(NiRegistry &r)
     t.queueBased = false;
     t.memoryHomedRecv = false;
     r.register_("NI2w", t, [](const NiBuildContext &c) {
-        return std::make_unique<Ni2w>(c.eq, c.node, c.fabric, c.net, c.mem,
+        return std::make_unique<Ni2w>(c.eq, c.node, c.coh, c.net, c.mem,
                                       c.name);
     });
 }

@@ -54,7 +54,7 @@ struct NiBuildContext
 {
     EventQueue &eq;
     NodeId node;
-    NodeFabric &fabric;
+    CoherenceDomain &coh;
     Network &net;
     NodeMemory &mem;
     std::string name;  //!< instance name, e.g. "node3.CNI16Qm"

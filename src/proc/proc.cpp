@@ -3,17 +3,16 @@
 namespace cni
 {
 
-Proc::Proc(EventQueue &eq, NodeId id, NodeFabric &fabric, NodeMemory &mem,
+Proc::Proc(EventQueue &eq, NodeId id, CoherenceDomain &coh, NodeMemory &mem,
            const std::string &name)
-    : eq_(eq), id_(id), fabric_(fabric), mem_(mem), stats_(name)
+    : eq_(eq), id_(id), coh_(coh), mem_(mem), stats_(name)
 {
     cache_ = std::make_unique<Cache>(eq, name + ".cache", kProcCacheBlocks,
                                      Initiator::Processor);
-    const int membusId = fabric.membus().attach(cache_.get());
-    cache_->setRequesterId(membusId);
-    TxnIssue port = [&fabric](const BusTxn &txn,
-                              std::function<void(SnoopResult)> done) {
-        fabric.procIssue(txn, std::move(done));
+    cache_->setRequesterId(coh.attachCache(cache_.get()));
+    TxnIssue port = [&coh](const BusTxn &txn,
+                           std::function<void(SnoopResult)> done) {
+        coh.procIssue(txn, std::move(done));
     };
     cache_->setIssuePort(port);
     stb_ = std::make_unique<StoreBuffer>(eq, name + ".stb", port);
@@ -88,7 +87,7 @@ Proc::uncachedLoad(Addr a)
     txn.initiator = Initiator::Processor;
     SnoopResult res = co_await ValueCompletion<SnoopResult>(
         [this, txn](std::function<void(SnoopResult)> done) {
-            fabric_.procIssue(txn, std::move(done));
+            coh_.procIssue(txn, std::move(done));
         });
     co_return res.data;
 }

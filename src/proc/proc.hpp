@@ -17,7 +17,7 @@
 #include <memory>
 #include <string>
 
-#include "bus/fabric.hpp"
+#include "coh/domain.hpp"
 #include "mem/cache.hpp"
 #include "mem/node_memory.hpp"
 #include "mem/store_buffer.hpp"
@@ -34,7 +34,7 @@ constexpr std::size_t kProcCacheBlocks = (256 * 1024) / kBlockBytes;
 class Proc
 {
   public:
-    Proc(EventQueue &eq, NodeId id, NodeFabric &fabric, NodeMemory &mem,
+    Proc(EventQueue &eq, NodeId id, CoherenceDomain &coh, NodeMemory &mem,
          const std::string &name);
 
     NodeId id() const { return id_; }
@@ -42,7 +42,7 @@ class Proc
     Cache &cache() { return *cache_; }
     NodeMemory &mem() { return mem_; }
     StoreBuffer &storeBuffer() { return *stb_; }
-    NodeFabric &fabric() { return fabric_; }
+    CoherenceDomain &coherence() { return coh_; }
 
     /** Charge `cycles` of computation. */
     DelayAwaiter delay(Tick cycles) { return DelayAwaiter(eq_, cycles); }
@@ -80,7 +80,7 @@ class Proc
   private:
     EventQueue &eq_;
     NodeId id_;
-    NodeFabric &fabric_;
+    CoherenceDomain &coh_;
     NodeMemory &mem_;
     std::unique_ptr<Cache> cache_;
     std::unique_ptr<StoreBuffer> stb_;

@@ -9,6 +9,8 @@
  *   --placement P     memory | io | cache
  *   --snarf           enable writeback snarfing (CNI16Qm)
  *   --net MODEL       interconnect (NetRegistry): ideal|mesh|torus|xbar
+ *   --coherence B     coherence backend (CoherenceRegistry):
+ *                     snoop (default) | directory
  *   --net-latency N   fabric latency in cycles (ideal/xbar transit)
  *   --link-bw N       link/port bandwidth in bytes per cycle (mesh/xbar)
  *   --window N        sliding-window depth per destination
@@ -21,6 +23,10 @@
  *   --json PATH       run-report output; "-" = stdout, "none" = off
  *                     (default: <binary>.report.json)
  *   --help            usage
+ *
+ * Passing the literal name "list" to --ni, --net, or --coherence
+ * prints that registry's entries and exits 0, so users can discover
+ * model names without reading source.
  *
  * Flags the user did not pass leave the binary's own defaults intact
  * (apply() only overrides what was given). parse() enables the run-
@@ -38,7 +44,10 @@
 #include <string>
 #include <vector>
 
+#include "coh/domain.hpp"
 #include "core/machine.hpp"
+#include "net/network.hpp"
+#include "ni/registry.hpp"
 #include "sim/logging.hpp"
 #include "sim/report.hpp"
 
@@ -54,6 +63,7 @@ struct Options
     std::optional<std::string> placement;
     std::optional<bool> snarf;
     std::optional<std::string> net;
+    std::optional<std::string> coherence;
     std::optional<Tick> netLatency;
     std::optional<std::size_t> linkBw;
     std::optional<int> window;
@@ -91,6 +101,8 @@ struct Options
     {
         if (net)
             b.net(*net);
+        if (coherence)
+            b.coherence(*coherence);
         if (netLatency)
             b.netLatency(*netLatency);
         if (linkBw)
@@ -145,10 +157,13 @@ parse(int argc, char **argv, const char *extraUsage = nullptr)
         std::printf(
             "usage: %s [--ni MODEL] [--nodes N] [--contexts N]\n"
             "       [--placement memory|io|cache] [--snarf]\n"
-            "       [--net ideal|mesh|torus|xbar] [--net-latency N]\n"
+            "       [--net ideal|mesh|torus|xbar]\n"
+            "       [--coherence snoop|directory] [--net-latency N]\n"
             "       [--link-bw N] [--window N] [--net-retry N]\n"
             "       [--mesh-dims XxY] [--threads N] [--seed S]\n"
-            "       [--json PATH|-|none] %s\n",
+            "       [--json PATH|-|none] %s\n"
+            "       (--ni list, --net list, --coherence list print the\n"
+            "        registered names and exit)\n",
             o.prog.c_str(), extraUsage ? extraUsage : "");
         std::exit(exitCode);
     };
@@ -179,6 +194,9 @@ parse(int argc, char **argv, const char *extraUsage = nullptr)
             o.snarf = true;
         } else if (a == "--net") {
             o.net = need(i);
+            ++i;
+        } else if (a == "--coherence") {
+            o.coherence = need(i);
             ++i;
         } else if (a == "--net-latency") {
             o.netLatency = std::strtoull(need(i), nullptr, 10);
@@ -237,6 +255,38 @@ parse(int argc, char **argv, const char *extraUsage = nullptr)
         } else {
             o.positional.push_back(a);
         }
+    }
+
+    // Registry discovery: `--ni list`, `--net list`, `--coherence list`
+    // print the registered names and exit successfully.
+    auto listAndExit = [](const char *what,
+                          const std::vector<std::string> &names) {
+        std::printf("registered %s models:\n", what);
+        for (const auto &n : names)
+            std::printf("  %s\n", n.c_str());
+        std::exit(0);
+    };
+    if (o.ni && *o.ni == "list")
+        listAndExit("NI", NiRegistry::instance().names());
+    if (o.net && *o.net == "list")
+        listAndExit("interconnect", NetRegistry::instance().names());
+    if (o.coherence && *o.coherence == "list")
+        listAndExit("coherence", CoherenceRegistry::instance().names());
+
+    // A mistyped machine-wide flag must fail loudly here: benches that
+    // sweep fixed configurations (fig6/fig7) treat unbuildable combos
+    // as "n/a" cells, which would otherwise swallow the typo into an
+    // all-n/a table with a green exit code.
+    if (o.net && !NetRegistry::instance().known(*o.net)) {
+        cni_fatal("unknown interconnect '%s' (registered models: %s)",
+                  o.net->c_str(),
+                  NetRegistry::instance().namesCsv().c_str());
+    }
+    if (o.coherence && !CoherenceRegistry::instance().known(*o.coherence)) {
+        cni_fatal(
+            "unknown coherence backend '%s' (registered backends: %s)",
+            o.coherence->c_str(),
+            CoherenceRegistry::instance().namesCsv().c_str());
     }
 
     report::enable(o.json != "none");

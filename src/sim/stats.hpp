@@ -2,7 +2,7 @@
  * @file
  * Lightweight statistics package (counters, scalar samples, distributions).
  *
- * Every simulated component owns a StatSet; the System aggregates them for
+ * Every simulated component owns a StatSet; the Machine aggregates them for
  * end-of-run reporting. Names are hierarchical by convention
  * ("node0.membus.occupancy_cycles").
  */

@@ -13,7 +13,7 @@
  *   }
  *
  * Top-level coroutines are started with TaskGroup::spawn(); the group
- * counts live tasks so System::run() knows when the workload finished.
+ * counts live tasks so Machine::run() knows when the workload finished.
  */
 
 #ifndef CNI_SIM_TASK_HPP

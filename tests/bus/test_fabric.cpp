@@ -174,6 +174,49 @@ TEST(Fabric, ConcurrentCrossTrafficSerializes)
               0u);
 }
 
+TEST(Fabric, SimultaneousBridgeInitiationIsCountedDeterministically)
+{
+    // The documented bridge_conflicts accounting: both sides of the
+    // bridge initiate in the same cycle. The device's blocking pull
+    // acquires the memory bus first (memory-bus-first order); the
+    // processor's read then finds it held — exactly one conflict, every
+    // run.
+    FabricRig rig(NiPlacement::IoBus);
+    BusTxn dv;
+    dv.kind = TxnKind::ReadShared;
+    dv.addr = kDevMemBase;
+    dv.initiator = Initiator::Device;
+    BusTxn pr;
+    pr.kind = TxnKind::UncachedRead;
+    pr.addr = kDevRegBase;
+    pr.initiator = Initiator::Processor;
+
+    Tick devDone = 0, procDone = 0;
+    rig.fabric.deviceIssue(
+        dv, [&](const SnoopResult &) { devDone = rig.eq.now(); });
+    rig.fabric.procIssue(
+        pr, [&](const SnoopResult &) { procDone = rig.eq.now(); });
+    rig.eq.run();
+
+    EXPECT_EQ(rig.fabric.stats().counter("bridge_conflicts"), 1u);
+    EXPECT_EQ(rig.fabric.stats().counter("upstream"), 1u);
+    EXPECT_EQ(rig.fabric.stats().counter("downstream"), 1u);
+    // The winner completes at its solo cost; the loser serialized
+    // behind the full cross transaction.
+    EXPECT_EQ(devDone, 62u);
+    EXPECT_EQ(procDone, 62u + 48u);
+
+    // Same-cycle initiation from the processor side only: no conflict.
+    FabricRig quiet(NiPlacement::IoBus);
+    BusTxn lone = pr;
+    Tick loneDone = 0;
+    quiet.fabric.procIssue(
+        lone, [&](const SnoopResult &) { loneDone = quiet.eq.now(); });
+    quiet.eq.run();
+    EXPECT_EQ(quiet.fabric.stats().counter("bridge_conflicts"), 0u);
+    EXPECT_EQ(loneDone, 48u);
+}
+
 TEST(Fabric, InvalidConfigsAreRejected)
 {
     // Verify the fabric builds each placement with the right buses.

@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "core/system.hpp"
+#include "core/machine.hpp"
 #include "ni/registry.hpp"
 
 namespace cni
@@ -70,7 +70,7 @@ TEST(NiRegistry, OutOfTreeModelsPlugIn)
     EXPECT_EQ(m.ni(0).modelName(), "NI2w");
 }
 
-// ---- builder validation: the SystemConfig::valid cases (Section 5) ----
+// ---- builder validation: the Section 5 implementability cases ----
 
 TEST(MachineBuilder, RejectsCoherentNiOnCacheBus)
 {
@@ -302,31 +302,31 @@ TEST(Machine, ReportCarriesConfigAndStats)
               std::count(json.begin(), json.end(), '}'));
 }
 
-// ---- deprecated shim ----------------------------------------------------
+// ---- spec plain-data semantics ------------------------------------------
+// (The deprecated SystemConfig/System shim is gone; MachineSpec itself
+// must keep the copy-without-losing-fields property it guaranteed.)
 
-TEST(SystemConfigShim, ConvertsAndCopiesWithoutLosingFields)
+TEST(MachineSpecData, CopiesWithoutLosingFields)
 {
-    SystemConfig cfg(NiModel::CNI512Q, NiPlacement::MemoryBus);
-    cfg.numNodes = 2;
-    cfg.numContexts = 2;
-    cfg.cniqOverride = CniqConfig::cni512q();
-    cfg.cniqOverride->lazySendHead = false;
+    MachineSpec spec;
+    spec.numNodes = 2;
+    spec.defaults.ni = "CNI512Q";
+    spec.defaults.contexts = 2;
+    spec.defaults.cniq = CniqConfig::cni512q();
+    spec.defaults.cniq->lazySendHead = false;
+    spec.coherence = "snoop";
 
-    const SystemConfig copy = cfg; // implicit copy: no hand-rolled ctor
-    ASSERT_TRUE(copy.cniqOverride.has_value());
-    EXPECT_FALSE(copy.cniqOverride->lazySendHead);
+    const MachineSpec copy = spec; // implicit copy: no hand-rolled ctor
+    EXPECT_EQ(copy.numNodes, 2);
+    EXPECT_EQ(copy.defaults.ni, "CNI512Q");
+    EXPECT_EQ(copy.defaults.contexts, 2);
+    ASSERT_TRUE(copy.defaults.cniq.has_value());
+    EXPECT_FALSE(copy.defaults.cniq->lazySendHead);
+    EXPECT_TRUE(copy.valid());
 
-    const MachineSpec spec = copy;
-    EXPECT_EQ(spec.numNodes, 2);
-    EXPECT_EQ(spec.defaults.ni, "CNI512Q");
-    EXPECT_EQ(spec.defaults.contexts, 2);
-    ASSERT_TRUE(spec.defaults.cniq.has_value());
-    EXPECT_FALSE(spec.defaults.cniq->lazySendHead);
-    EXPECT_TRUE(spec.valid());
-
-    System sys(cfg); // the alias still constructs a machine
-    EXPECT_EQ(sys.numNodes(), 2);
-    EXPECT_EQ(sys.ni(0).modelName(), "CNI512Q");
+    Machine m(copy);
+    EXPECT_EQ(m.numNodes(), 2);
+    EXPECT_EQ(m.ni(0).modelName(), "CNI512Q");
 }
 
 } // namespace
