@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Directory coverage sweep: sparse-directory coverage ratio × hotspot
+ * sharing degree, with 3-hop vs 4-hop data-path columns — the scaling
+ * experiment behind the directory v2 protocol (ROADMAP: sparse
+ * directory + 3-hop forwarding).
+ *
+ * Every node repeatedly scans a working set of cached blocks whose
+ * interleaved homes are 3/4 remote; the directory must track all of
+ * them. Coverage = dirEntries / blocks-per-home: at 1.0 the sweep runs
+ * the exact full map (zero recalls by construction); below 1.0 every
+ * allocation into a full set recalls a victim, the recalled lines miss
+ * again on the next pass, and the thrash shows up as recalls/evictions
+ * and a longer run. Concurrently, `sharing` senders stream messages at
+ * node 0 (CNI16Qm's memory-homed receive queue), so the proc/device
+ * block hand-offs produce owner-forwarded (Fwd) misses — the path where
+ * 3-hop forwarding saves a fabric traversal per miss, visible in the
+ * mean remote-miss latency column.
+ *
+ * Defaults: 4 nodes, mesh, CNI16Qm. --net picks another routed fabric;
+ * --dir-assoc resizes the sets; per-run config+stats land in
+ * fig_coverage.report.json (see --json); the release CI job asserts the
+ * recall counters appear in it.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/cli.hpp"
+#include "sim/logging.hpp"
+#include "sim/report.hpp"
+
+using namespace cni;
+
+namespace
+{
+
+constexpr int kWorkingBlocks = 64; //!< per node; == tracked blocks/home
+constexpr int kScanPasses = 4;
+constexpr int kMsgsPerSender = 6;
+constexpr std::size_t kMsgBytes = 96;
+/**
+ * The sweep runs in two phases: every node's scan completes well before
+ * this tick, then the hotspot messaging starts. The split keeps the
+ * 3-hop vs 4-hop columns directly comparable — the scan phase is
+ * hop-invariant by construction (its misses are memory-supplied, and
+ * recall probes never use the 3-hop path), so any latency difference
+ * comes from the owner-forwarded misses the messaging phase produces.
+ */
+constexpr Tick kPhaseSplit = 150'000;
+
+struct CoverageResult
+{
+    Tick cycles = 0;
+    double remoteMissMean = 0;
+    std::uint64_t remoteMisses = 0;
+    std::uint64_t recalls = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t fwd3 = 0;
+};
+
+int
+entriesFor(double coverage, int assoc)
+{
+    if (coverage >= 1.0)
+        return 0; // exact full map
+    int entries = int(coverage * kWorkingBlocks);
+    entries -= entries % assoc;
+    return entries < assoc ? assoc : entries;
+}
+
+CoverageResult
+run(const cli::Options &opts, double coverage, int sharing, int hops)
+{
+    const int nodes = opts.nodes ? *opts.nodes : 4;
+    const int assoc = opts.dirAssoc ? *opts.dirAssoc : 4;
+    MachineBuilder b = Machine::describe()
+                           .nodes(nodes)
+                           .ni("CNI16Qm")
+                           .net("mesh")
+                           .coherence("directory");
+    opts.applyNet(b);
+    // The sweep's own knobs win over --dir-*.
+    b.dirEntries(entriesFor(coverage, assoc)).dirAssoc(assoc).dirHops(hops);
+    Machine m(b.spec());
+
+    // Senders are capped by the machine size, and the receiver must
+    // expect exactly what they will send or the run never drains.
+    const int senders = std::min(sharing, nodes - 1);
+    const int expected = senders * kMsgsPerSender;
+    static int received;
+    received = 0;
+    m.endpoint(0).onMessage(1, [](const UserMsg &) -> CoTask<void> {
+        ++received;
+        co_return;
+    });
+
+    // The scan: every node stores through its working set repeatedly.
+    // All blocks stay cached (distinct lines), so with full coverage
+    // passes after the first are pure hits; under-covered directories
+    // recall tracked lines and the scan keeps missing remotely.
+    for (NodeId n = 0; n < nodes; ++n) {
+        m.spawn(n, [](Machine &m, NodeId n) -> CoTask<void> {
+            for (int pass = 0; pass < kScanPasses; ++pass) {
+                for (int i = 0; i < kWorkingBlocks; ++i) {
+                    co_await m.proc(n).write64(
+                        kMemBase + Addr(i) * kBlockBytes,
+                        (std::uint64_t(pass) << 32) | std::uint64_t(i));
+                }
+            }
+        }(m, n));
+    }
+    // Phase 2, the hotspot: `sharing` senders stream at node 0's
+    // memory-homed receive queue; the consumer/producer block hand-offs
+    // are the owner-forwarded misses under measurement.
+    std::vector<std::uint8_t> payload(kMsgBytes, 0x5a);
+    for (NodeId n = 1; n <= senders; ++n) {
+        m.spawn(n, [](Machine &m, NodeId n,
+                      const std::vector<std::uint8_t> &p) -> CoTask<void> {
+            co_await m.proc(n).delay(kPhaseSplit + Tick(n) * 40);
+            for (int i = 0; i < kMsgsPerSender; ++i) {
+                co_await m.endpoint(n).send(0, 1, p.data(), p.size());
+                co_await m.proc(n).delay(200);
+            }
+        }(m, n, payload));
+    }
+    // The receiver also sits out phase 1: polling the memory-homed
+    // queue head would otherwise inject hop-dependent device misses
+    // into the middle of the scan.
+    m.spawn(0, [](Machine &m, int expected) -> CoTask<void> {
+        co_await m.proc(0).delay(kPhaseSplit);
+        co_await m.endpoint(0).pollUntil(
+            [expected] { return received >= expected; });
+    }(m, expected));
+
+    CoverageResult r;
+    r.cycles = m.run();
+    const StatSet agg = m.aggregateStats();
+    r.remoteMissMean = agg.scalar("remote_miss_latency").mean();
+    r.remoteMisses = agg.scalar("remote_miss_latency").count();
+    r.recalls = agg.counter("dir_recalls");
+    r.evictions = agg.counter("dir_evictions");
+    r.fwd3 = agg.counter("fwd3_supplies");
+
+    char label[64];
+    std::snprintf(label, sizeof label, "cov%.2f/s%d/%dhop", coverage,
+                  sharing, hops);
+    report::add(label, m.report());
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const cli::Options opts = cli::parse(
+        argc, argv,
+        "(directory coverage x sharing sweep, 3-hop vs 4-hop)");
+
+    const std::vector<double> coverages = {1.0, 0.5, 0.25};
+    const std::vector<int> sharings = {1, 3};
+
+    std::printf("Directory coverage sweep: %d-block working set/node, "
+                "%d scan passes, hotspot %zu-byte messages\n\n",
+                kWorkingBlocks, kScanPasses, kMsgBytes);
+    std::printf("%9s%9s%6s%12s%14s%12s%10s%11s%8s\n", "coverage",
+                "sharing", "hops", "cycles", "rmiss-mean", "rmisses",
+                "recalls", "evictions", "fwd3");
+    for (const double cov : coverages) {
+        for (const int s : sharings) {
+            for (const int hops : {4, 3}) {
+                const CoverageResult r = run(opts, cov, s, hops);
+                std::printf(
+                    "%9.2f%9d%6d%12llu%14.1f%12llu%10llu%11llu%8llu\n",
+                    cov, s, hops,
+                    static_cast<unsigned long long>(r.cycles),
+                    r.remoteMissMean,
+                    static_cast<unsigned long long>(r.remoteMisses),
+                    static_cast<unsigned long long>(r.recalls),
+                    static_cast<unsigned long long>(r.evictions),
+                    static_cast<unsigned long long>(r.fwd3));
+            }
+        }
+    }
+    opts.emitReports();
+    return 0;
+}

@@ -1,5 +1,6 @@
 #include "coh/directory.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "bus/address_map.hpp"
@@ -10,11 +11,25 @@ namespace cni
 {
 
 DirectoryFabric::DirectoryFabric(EventQueue &eq, NodeId node, int numNodes,
-                                 Interconnect &net, const std::string &name)
+                                 Interconnect &net, const std::string &name,
+                                 const DirParams &dir)
     : CoherenceDomain(NiPlacement::MemoryBus), eq_(eq), node_(node),
-      numNodes_(numNodes), net_(net), name_(name),
+      numNodes_(numNodes), net_(net), name_(name), cfg_(dir),
       spec_(BusTimingSpec::memoryBus()), stats_(name + ".directory")
 {
+    cni_assert(cfg_.hops == 3 || cfg_.hops == 4);
+    cni_assert(cfg_.entries >= 0 && cfg_.assoc >= 1);
+    if (isSparse()) {
+        cni_assert(cfg_.entries % cfg_.assoc == 0);
+        numSets_ = cfg_.entries / cfg_.assoc;
+        // Sparse homes always report the eviction counters — even when
+        // a generously sized directory never recalls — so coverage
+        // sweeps (and the CI smoke that greps for them) see explicit
+        // zeros instead of missing keys.
+        stats_.incr("dir_evictions", 0);
+        stats_.incr("dir_recalls", 0);
+        stats_.incr("dir_recall_writebacks", 0);
+    }
     net_.attachCoherence(node_, this);
 }
 
@@ -62,16 +77,21 @@ DirectoryFabric::localize(Addr g)
 }
 
 NodeId
+DirectoryFabric::homeOfGlobal(Addr g) const
+{
+    if (g >= kGlobalMemBase)
+        return NodeId(((g - kGlobalMemBase) / kBlockBytes) %
+                      Addr(numNodes_));
+    return node_;
+}
+
+NodeId
 DirectoryFabric::homeNodeOf(Addr a) const
 {
     // Global memory blocks are interleaved across the machine's homes
     // round-robin; NI space (registers, CDRs, device-homed queues) is
     // homed at its node.
-    const Addr g = globalize(blockAlign(a));
-    if (g >= kGlobalMemBase)
-        return NodeId(((g - kGlobalMemBase) / kBlockBytes) %
-                      Addr(numNodes_));
-    return node_;
+    return homeOfGlobal(globalize(blockAlign(a)));
 }
 
 BusAgent *
@@ -149,7 +169,8 @@ DirectoryFabric::issue(const BusTxn &txn, int slot, Done done)
     stats_.incr(home == node_ ? "local_home" : "remote_home");
 
     const std::uint32_t id = nextReq_++;
-    pending_[id] = Pending{txn, slot, std::move(done)};
+    pending_[id] =
+        Pending{txn, slot, home != node_, eq_.now(), std::move(done)};
 
     CohWire w{};
     w.op = op;
@@ -218,10 +239,12 @@ DirectoryFabric::dispatch(const CohWire &w, NodeId from)
         return;
       case Op::FwdAck:
       case Op::InvAck:
+      case Op::FwdDone:
         homeAck(w, from);
         return;
       case Op::Grant:
       case Op::WbAck:
+      case Op::FwdData:
         complete(w);
         return;
     }
@@ -244,15 +267,108 @@ DirectoryFabric::reconstructTxn(const CohWire &w, TxnKind kind) const
 // Home side
 // ---------------------------------------------------------------------
 
+bool
+DirectoryFabric::needsEntry(const CohWire &w) const
+{
+    // Only main-memory blocks occupy sparse directory ways — NI device
+    // space is home-local by construction. A writeback never allocates
+    // durable tracking (its transient entry is erased at release), so
+    // it must not stall on a full set either: a WB racing a recall of
+    // its own block would otherwise deadlock behind the very eviction
+    // that is waiting for it.
+    return isSparse() && w.addr >= kGlobalMemBase &&
+           w.op != Op::Writeback;
+}
+
+std::size_t
+DirectoryFabric::setOf(Addr g) const
+{
+    cni_assert(isSparse() && g >= kGlobalMemBase);
+    const Addr homeLocal =
+        ((g - kGlobalMemBase) / kBlockBytes) / Addr(numNodes_);
+    return std::size_t(homeLocal % Addr(numSets_));
+}
+
+int
+DirectoryFabric::occupiedWays(std::size_t set) const
+{
+    // Transient writeback entries do not count against the cap: they
+    // are about to vanish, and recalling a live way on their account
+    // would be a spurious eviction.
+    auto mit = setMembers_.find(set);
+    if (mit == setMembers_.end())
+        return 0;
+    int occupied = 0;
+    for (Addr a : mit->second) {
+        if (!dir_.find(a)->second.transientWb)
+            ++occupied;
+    }
+    return occupied;
+}
+
+Addr
+DirectoryFabric::pickVictim(std::size_t set) const
+{
+    auto mit = setMembers_.find(set);
+    cni_assert(mit != setMembers_.end());
+    Addr victim = 0;
+    std::uint64_t best = 0;
+    for (Addr a : mit->second) {
+        const auto it = dir_.find(a);
+        cni_assert(it != dir_.end());
+        if (it->second.busy)
+            continue;
+        if (victim == 0 || it->second.lru < best) {
+            victim = a;
+            best = it->second.lru;
+        }
+    }
+    return victim; // 0 (never a global block) when every way is busy
+}
+
+void
+DirectoryFabric::eraseMember(std::size_t set, Addr blk)
+{
+    auto mit = setMembers_.find(set);
+    cni_assert(mit != setMembers_.end());
+    auto &v = mit->second;
+    auto pos = std::find(v.begin(), v.end(), blk);
+    cni_assert(pos != v.end());
+    v.erase(pos);
+    if (v.empty())
+        setMembers_.erase(mit);
+}
+
 void
 DirectoryFabric::homeRequest(const CohWire &w, NodeId from)
 {
-    cni_assert(
-        w.addr >= kGlobalMemBase
-            ? NodeId(((w.addr - kGlobalMemBase) / kBlockBytes) %
-                     Addr(numNodes_)) == node_
-            : true);
-    DirEntry &e = dir_[w.addr];
+    cni_assert(homeOfGlobal(w.addr) == node_);
+    auto it = dir_.find(w.addr);
+    if (it == dir_.end()) {
+        if (needsEntry(w)) {
+            const std::size_t set = setOf(w.addr);
+            if (occupiedWays(set) >= cfg_.assoc) {
+                const Addr victim = pickVictim(set);
+                if (victim == 0) {
+                    // Every way is mid-transaction: park the request on
+                    // the set; the next release in it retries us.
+                    stats_.incr("dir_set_stalls");
+                    setWaiting_[set].emplace_back(w, from);
+                    return;
+                }
+                startRecall(victim, w, from);
+                return;
+            }
+        }
+        if (isSparse() && w.addr >= kGlobalMemBase)
+            setMembers_[setOf(w.addr)].push_back(w.addr);
+        DirEntry fresh;
+        fresh.transientWb =
+            isSparse() && w.addr >= kGlobalMemBase &&
+            w.op == Op::Writeback;
+        it = dir_.emplace(w.addr, std::move(fresh)).first;
+    }
+    DirEntry &e = it->second;
     if (e.busy) {
         // The home serializes transactions per block, FIFO.
         stats_.incr("home_queued");
@@ -261,6 +377,73 @@ DirectoryFabric::homeRequest(const CohWire &w, NodeId from)
     }
     e.busy = true;
     startHomeTxn(w, from);
+}
+
+void
+DirectoryFabric::startRecall(Addr victim, const CohWire &next,
+                             NodeId nextFrom)
+{
+    DirEntry &e = dir_[victim];
+    cni_assert(!e.busy);
+    e.busy = true;
+    stats_.incr("dir_evictions");
+
+    std::set<int> targets = e.sharers;
+    if (e.owner >= 0)
+        targets.insert(e.owner);
+    // A resident non-busy entry always has a holder: untracked entries
+    // are erased at release time.
+    cni_assert(!targets.empty());
+
+    HomeTxn &t = inflight_[victim];
+    t.req = CohWire{};
+    t.req.addr = victim;
+    t.from = node_;
+    t.pendingAcks = int(targets.size());
+    t.gathered = 0;
+    t.recall = true;
+    t.next = next;
+    t.nextFrom = nextFrom;
+
+    // The recall is a home-initiated read-exclusive: it invalidates
+    // every sharer and makes a dirty owner supply its block, which
+    // memory then absorbs — exactly the probes a GetM would send.
+    for (int target : targets) {
+        stats_.incr("dir_recalls");
+        CohWire probe{};
+        probe.op = Op::Inv;
+        probe.kind = std::uint8_t(TxnKind::ReadExclusive);
+        probe.agent = slotOf(target);
+        probe.addr = victim;
+        sendWire(nodeOf(target), probe, /*carriesBlock=*/false);
+    }
+}
+
+void
+DirectoryFabric::finishRecall(Addr victim, std::uint8_t gathered,
+                              const CohWire &next, NodeId nextFrom)
+{
+    DirEntry &e = dir_[victim];
+    cni_assert(e.busy);
+    e.owner = -1;
+    e.sharers.clear();
+    // A dirty owner's block comes home: memory absorbs it over the home
+    // port. A clean eviction is address-only bookkeeping, free.
+    Tick occ = 0;
+    if (gathered & kSupplied) {
+        stats_.incr("dir_recall_writebacks");
+        occ = spec_.blockFromProc;
+    }
+    const Tick start = portStart(occ);
+    eq_.scheduleAt(start + occ, [this, victim, next, nextFrom] {
+        releaseEntry(victim);
+        // Retry the allocation that forced the eviction (an overflow
+        // trim has none). Its way is free unless the victim had waiters
+        // (its entry then survives to serve them), in which case the
+        // retry recalls another way or parks on the set.
+        if (nextFrom >= 0)
+            homeRequest(next, nextFrom);
+    });
 }
 
 void
@@ -279,6 +462,9 @@ DirectoryFabric::processHome(const CohWire &w, NodeId from)
     const Addr blk = w.addr;
     DirEntry &e = dir_[blk];
     cni_assert(e.busy);
+    e.lru = ++lruSeq_; // service order drives sparse victim choice
+    if (w.op != Op::Writeback)
+        e.transientWb = false; // a queued request makes the entry durable
 
     // The home agent sees every transaction for its space, exactly as it
     // would on a broadcast bus: main memory counts reads/writebacks, an
@@ -324,18 +510,27 @@ DirectoryFabric::processHome(const CohWire &w, NodeId from)
 
       case Op::GetS: {
         if (e.owner >= 0 && e.owner != w.agent) {
-            // A peer cache owns the block: probe it for the data.
+            // A peer cache owns the block: probe it for the data. With
+            // 3-hop forwarding the probe asks the owner to supply the
+            // requester directly (kFwd3 + the requester's identity).
             stats_.incr("fwds");
             HomeTxn &t = inflight_[blk];
             t.req = w;
             t.from = from;
-            t.pendingAcks = 1;
             t.gathered = homeFlags;
+            t.threeHop = cfg_.hops == 3;
+            // A 3-hop probe expects the owner's ack plus the
+            // requester's FwdDone; the owner's ack cancels the latter
+            // when it could not supply (see homeAck).
+            t.pendingAcks = t.threeHop ? 2 : 1;
             CohWire probe{};
             probe.op = Op::Fwd;
             probe.kind = std::uint8_t(TxnKind::ReadShared);
-            probe.flags = w.flags & kFromDevice;
+            probe.flags = (w.flags & kFromDevice) |
+                          (t.threeHop ? kFwd3 : std::uint8_t(0));
             probe.agent = slotOf(e.owner);
+            probe.aux = w.agent;
+            probe.reqId = w.reqId;
             probe.addr = blk;
             sendWire(nodeOf(e.owner), probe, /*carriesBlock=*/false);
             return;
@@ -357,8 +552,16 @@ DirectoryFabric::processHome(const CohWire &w, NodeId from)
         HomeTxn &t = inflight_[blk];
         t.req = w;
         t.from = from;
-        t.pendingAcks = int(targets.size());
         t.gathered = homeFlags;
+        // A lone dirty owner can short-circuit a GetM's data path: with
+        // 3-hop forwarding it supplies the requester directly and the
+        // home collects the owner's ack plus the requester's FwdDone.
+        // Multi-sharer invalidations still gather at the home — the
+        // requester must not proceed before every sharer acked.
+        t.threeHop = cfg_.hops == 3 && w.op == Op::GetM &&
+                     targets.size() == 1 && e.owner >= 0 &&
+                     *targets.begin() == e.owner;
+        t.pendingAcks = int(targets.size()) + (t.threeHop ? 1 : 0);
         // GetM probes apply ReadExclusive (a dirty owner supplies);
         // Upgrade probes apply the address-only invalidation, exactly
         // like the corresponding bus broadcasts.
@@ -369,8 +572,11 @@ DirectoryFabric::processHome(const CohWire &w, NodeId from)
             CohWire probe{};
             probe.op = Op::Inv;
             probe.kind = std::uint8_t(probeKind);
-            probe.flags = w.flags & kFromDevice;
+            probe.flags = (w.flags & kFromDevice) |
+                          (t.threeHop ? kFwd3 : std::uint8_t(0));
             probe.agent = slotOf(target);
+            probe.aux = w.agent;
+            probe.reqId = w.reqId;
             probe.addr = blk;
             sendWire(nodeOf(target), probe, /*carriesBlock=*/false);
         }
@@ -390,22 +596,55 @@ DirectoryFabric::homeAck(const CohWire &w, NodeId from)
     cni_assert(it != inflight_.end());
     HomeTxn &t = it->second;
     t.gathered |= w.flags & (kSupplied | kHadCopy | kTransferOwner);
-    cni_assert(t.pendingAcks > 0);
-    if (--t.pendingAcks > 0)
+    int acked = 1;
+    if (t.threeHop && (w.op == Op::FwdAck || w.op == Op::InvAck)) {
+        if (w.flags & kFwd3) {
+            t.fwdDataSent = true;
+        } else {
+            // The owner sent no FwdData (stale copy): the requester's
+            // FwdDone will never come, so its expected ack is cancelled
+            // here and the home falls back below.
+            acked = 2;
+        }
+    }
+    cni_assert(t.pendingAcks >= acked);
+    t.pendingAcks -= acked;
+    if (t.pendingAcks > 0)
         return;
-    const CohWire req = t.req;
-    const NodeId reqFrom = t.from;
-    const std::uint8_t gathered = t.gathered;
+    const HomeTxn done = t;
     inflight_.erase(it);
-    if (req.op == Op::GetS)
-        finishGetS(w.addr, req, reqFrom, gathered);
+    if (done.recall) {
+        finishRecall(w.addr, done.gathered, done.next, done.nextFrom);
+        return;
+    }
+    if (done.threeHop && done.fwdDataSent) {
+        // 3-hop: the owner already sent the block straight to the
+        // requester (FwdData, whose receipt the FwdDone just
+        // confirmed); the home commits the directory state and
+        // unblocks the entry — no Grant, no data re-send.
+        stats_.incr("cache_supplies");
+        if (done.req.op == Op::GetS) {
+            updateGetSDirectory(w.addr, done.req, done.gathered);
+        } else {
+            DirEntry &e = dir_[w.addr];
+            e.owner = done.req.agent;
+            e.sharers.clear();
+        }
+        releaseEntry(w.addr);
+        return;
+    }
+    // 4-hop, or a 3-hop probe that found a stale owner (writeback in
+    // flight): complete home-centrically — for the stale case memory
+    // supplies and the Grant carries the block, self-healing the race.
+    if (done.req.op == Op::GetS)
+        finishGetS(w.addr, done.req, done.from, done.gathered);
     else
-        finishExclusive(w.addr, req, reqFrom, gathered);
+        finishExclusive(w.addr, done.req, done.from, done.gathered);
 }
 
-void
-DirectoryFabric::finishGetS(Addr blk, const CohWire &req, NodeId from,
-                            std::uint8_t gathered)
+bool
+DirectoryFabric::updateGetSDirectory(Addr blk, const CohWire &req,
+                                     std::uint8_t gathered)
 {
     DirEntry &e = dir_[blk];
     const bool supplied = gathered & kSupplied;
@@ -435,6 +674,16 @@ DirectoryFabric::finishGetS(Addr blk, const CohWire &req, NodeId from,
     }
     if (e.owner >= 0 && e.owner != req.agent)
         otherSharer = true;
+    return otherSharer;
+}
+
+void
+DirectoryFabric::finishGetS(Addr blk, const CohWire &req, NodeId from,
+                            std::uint8_t gathered)
+{
+    const bool supplied = gathered & kSupplied;
+    const bool transfer = gathered & kTransferOwner;
+    const bool otherSharer = updateGetSDirectory(blk, req, gathered);
 
     if (supplied)
         stats_.incr("cache_supplies");
@@ -525,10 +774,36 @@ DirectoryFabric::releaseEntry(Addr blk)
         startHomeTxn(w, from);
         return;
     }
+    const bool sparseBlk = isSparse() && blk >= kGlobalMemBase;
+    const std::size_t set = sparseBlk ? setOf(blk) : 0;
     // Untracked entries are dropped so trackedBlocks() means "blocks
-    // with cached copies" (the sparse-directory follow-up will cap it).
-    if (e.owner < 0 && e.sharers.empty())
+    // with cached copies" — and, sparse, so their way frees up.
+    if (e.owner < 0 && e.sharers.empty()) {
+        if (sparseBlk)
+            eraseMember(set, blk);
         dir_.erase(it);
+    }
+    // A release can unstall an allocation parked on this set: either
+    // the way just freed, or this entry became a recallable victim.
+    if (sparseBlk) {
+        auto sw = setWaiting_.find(set);
+        if (sw != setWaiting_.end() && !sw->second.empty()) {
+            auto [w, from] = sw->second.front();
+            sw->second.pop_front();
+            if (sw->second.empty())
+                setWaiting_.erase(sw);
+            homeRequest(w, from);
+        }
+        // A writeback entry revived by a queued request became durable
+        // without passing the cap (homeRequest exempts WBs): trim the
+        // overflow back to `assoc` ways with an ordinary recall so the
+        // modeled storage bound holds.
+        if (occupiedWays(set) > cfg_.assoc) {
+            const Addr victim = pickVictim(set);
+            if (victim != 0)
+                startRecall(victim, CohWire{}, /*nextFrom=*/-1);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -556,6 +831,34 @@ DirectoryFabric::peerApply(const CohWire &w, NodeId home)
         ack.flags |= kHadCopy;
     if (r.transferOwnership)
         ack.flags |= kTransferOwner;
+
+    if ((w.flags & kFwd3) && r.supplied) {
+        // 3-hop: the block goes straight to the requester; the home
+        // gets an address-only ack in parallel (kFwd3 echoed = "FwdData
+        // sent, expect the requester's FwdDone") and never re-sends the
+        // data. A GetS supplier keeps a copy (M->O or ownership
+        // transfer), so the requester sees a shared line; a GetM
+        // supplier invalidated itself, so it does not.
+        stats_.incr("fwd3_supplies");
+        ack.flags |= kFwd3;
+        CohWire data{};
+        data.op = Op::FwdData;
+        data.reqId = w.reqId;
+        data.addr = w.addr;
+        data.flags = kSupplied;
+        if (w.op == Op::Fwd)
+            data.flags |= kSharedCopy;
+        if (r.transferOwnership)
+            data.flags |= kTransferOwner;
+        const NodeId requester = nodeOf(w.aux);
+        const Tick occ = spec_.blockFromProc;
+        const Tick start = port_.reserve(eq_.now(), occ);
+        eq_.scheduleAt(start + occ, [this, requester, data, home, ack] {
+            sendWire(requester, data, /*carriesBlock=*/true);
+            sendWire(home, ack, /*carriesBlock=*/false);
+        });
+        return;
+    }
 
     // A supplying peer pushes the block out over its node port; a plain
     // invalidation is address-only.
@@ -587,14 +890,37 @@ DirectoryFabric::complete(const CohWire &w)
 
     // A data-carrying grant fills the line over the requester's port.
     Tick occ = 0;
-    if (w.op == Op::Grant && p.txn.kind != TxnKind::Upgrade) {
+    if ((w.op == Op::Grant || w.op == Op::FwdData) &&
+        p.txn.kind != TxnKind::Upgrade) {
         occ = p.slot == kCacheSlot ? spec_.blockToProc
                                    : spec_.blockFromProc;
     }
+    // Remote-miss latency: data misses whose home is another node — the
+    // metric the 3-hop forwarding path exists to cut (fig_coverage).
+    const bool remoteMiss =
+        p.remoteHome && (p.txn.kind == TxnKind::ReadShared ||
+                         p.txn.kind == TxnKind::ReadExclusive);
+    // A forwarded block's installation is confirmed back to the home
+    // (address-only FwdDone) so it holds the entry — and any queued
+    // probe — until the data physically landed here. Sent after `done`
+    // runs, so the line is installed before the home can release.
+    const bool confirmFwd = w.op == Op::FwdData;
+    const Addr blk = w.addr;
     const Tick start = portStart(occ);
-    eq_.scheduleAt(start + occ, [res, done = std::move(p.done)] {
+    eq_.scheduleAt(start + occ, [this, res, remoteMiss, confirmFwd, blk,
+                                 issued = p.issued,
+                                 done = std::move(p.done)] {
+        if (remoteMiss)
+            stats_.sample("remote_miss_latency",
+                          double(eq_.now() - issued));
         if (done)
             done(res);
+        if (confirmFwd) {
+            CohWire fin{};
+            fin.op = Op::FwdDone;
+            fin.addr = blk;
+            sendWire(homeOfGlobal(blk), fin, /*carriesBlock=*/false);
+        }
     });
 }
 
@@ -626,10 +952,11 @@ detail::registerDirectoryDomain(CoherenceRegistry &r)
     t.supportsIoPlacement = false;
     t.supportsCachePlacement = false;
     t.supportsSnarfing = false; // snarfing rides bus broadcasts
+    t.directoryGeometry = true; // sparse cap / associativity / hops
     t.reportSection = true;
     r.register_("directory", t, [](const CohBuildContext &c) {
         return std::make_unique<DirectoryFabric>(c.eq, c.node, c.numNodes,
-                                                 c.net, c.name);
+                                                 c.net, c.name, c.dir);
     });
 }
 

@@ -26,16 +26,37 @@
  * accept (a real machine's separate request/response virtual networks),
  * so coherence can never deadlock behind congested NI data traffic.
  *
- * The protocol is a strict 4-hop, home-centric MOESI (requester -> home
- * -> peer -> home -> requester; the 3-hop forwarding optimization is a
- * ROADMAP follow-up). Peers reuse the exact snooping state machines:
- * a Fwd applies onBusTxn(ReadShared) to the owner (M->O supply, or
- * ownership transfer), an Inv applies onBusTxn(ReadExclusive/Upgrade)
- * to each sharer — so mem/cache.* and the NI device models behave
- * bit-identically to their bus selves, only the transport differs.
- * The home tolerates stale directory state (an evicted owner answers a
- * Fwd with "no copy" and memory supplies), which makes races against
- * in-flight writebacks self-healing.
+ * The protocol is a home-centric MOESI with a configurable data path
+ * (DirParams::hops). 4-hop (default): requester -> home -> peer ->
+ * home -> requester. 3-hop: the home forwards a GetS/GetM to the
+ * owner, which sends the block straight to the requester (FwdData)
+ * while acking the home in parallel — one fabric traversal less per
+ * cache-to-cache miss. The home keeps the block's entry busy until
+ * both the owner's ack *and* the requester's FwdDone (sent once the
+ * forwarded block is installed) have landed, so a later probe can
+ * never overtake the FwdData still in flight and every race still
+ * serializes at the home; a stale owner (writeback in flight) simply
+ * acks "no copy" — cancelling the FwdDone expectation — upon which the
+ * home falls back to the 4-hop memory supply. The FwdDone is
+ * address-only and off the requester's critical path, so the latency
+ * win is intact. Peers reuse the
+ * exact snooping state machines: a Fwd applies onBusTxn(ReadShared) to
+ * the owner (M->O supply, or ownership transfer), an Inv applies
+ * onBusTxn(ReadExclusive/Upgrade) to each sharer — so mem/cache.* and
+ * the NI device models behave bit-identically to their bus selves,
+ * only the transport differs.
+ *
+ * The directory itself is either an exact full map (DirParams::entries
+ * == 0) or sparse: a set-associative entry cache per home (entries /
+ * assoc sets) covering only main-memory blocks (NI device space is
+ * home-local and exempt). Allocating into a full set evicts the
+ * least-recently-used non-busy entry first: the home recalls the
+ * victim — invalidation probes to every sharer, a data recall to a
+ * dirty owner whose block memory then absorbs — and only then admits
+ * the new block ("dir_evictions" / "dir_recalls" /
+ * "dir_recall_writebacks" counters). Requests that cannot find a
+ * recallable victim (every way busy) wait on the set and drain as
+ * entries release.
  *
  * Timing: each node has one memory port (a SerialResource at the
  * Table 2 memory-bus rates) standing in for the bus: requests occupy it
@@ -52,6 +73,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "bus/timing.hpp"
 #include "coh/domain.hpp"
@@ -64,7 +86,8 @@ class DirectoryFabric final : public CoherenceDomain, public NiPort
 {
   public:
     DirectoryFabric(EventQueue &eq, NodeId node, int numNodes,
-                    Interconnect &net, const std::string &name);
+                    Interconnect &net, const std::string &name,
+                    const DirParams &dir = DirParams{});
 
     // CoherenceDomain -------------------------------------------------------
     const char *kind() const override { return "directory"; }
@@ -121,10 +144,12 @@ class DirectoryFabric final : public CoherenceDomain, public NiPort
         Writeback, //!< requester -> home: dirty block to its home
         Fwd,       //!< home -> owner: supply for a GetS
         Inv,       //!< home -> sharer/owner: invalidate (GetM/Upgrade)
-        FwdAck,    //!< owner -> home: supply outcome (+ block)
+        FwdAck,    //!< owner -> home: supply outcome (+ block on 4-hop)
         InvAck,    //!< sharer -> home: invalidation outcome
         Grant,     //!< home -> requester: permission (+ block)
         WbAck,     //!< home -> requester: writeback absorbed
+        FwdData,   //!< owner -> requester: 3-hop direct supply (+ block)
+        FwdDone,   //!< requester -> home: FwdData received and installed
     };
 
     // CohWire::flags bits.
@@ -133,6 +158,8 @@ class DirectoryFabric final : public CoherenceDomain, public NiPort
     static constexpr std::uint8_t kTransferOwner = 1 << 2;
     static constexpr std::uint8_t kSharedCopy = 1 << 3;
     static constexpr std::uint8_t kFromDevice = 1 << 4;
+    static constexpr std::uint8_t kFwd3 = 1 << 5; //!< probe: supply the
+                                                  //!< requester directly
 
     /** The protocol message, memcpy'd into the NetMsg payload. */
     struct CohWire
@@ -141,15 +168,18 @@ class DirectoryFabric final : public CoherenceDomain, public NiPort
         std::uint8_t kind;  //!< TxnKind the probe applies (Fwd/Inv)
         std::uint8_t flags; //!< kSupplied | kHadCopy | ...
         std::int32_t agent; //!< requester global agent / probe target slot
+        std::int32_t aux;   //!< kFwd3 probes: the requester's global agent
         std::uint32_t reqId; //!< requester-side completion match
         std::uint64_t addr;
     };
 
-    /** A requester-side transaction awaiting its Grant/WbAck. */
+    /** A requester-side transaction awaiting its Grant/WbAck/FwdData. */
     struct Pending
     {
         BusTxn txn;
         int slot = kCacheSlot;
+        bool remoteHome = false; //!< remote-miss latency accounting
+        Tick issued = 0;
         Done done;
     };
 
@@ -160,6 +190,11 @@ class DirectoryFabric final : public CoherenceDomain, public NiPort
         NodeId from = -1;
         int pendingAcks = 0;
         std::uint8_t gathered = 0; //!< OR of ack flags
+        bool threeHop = false; //!< the owner was asked to supply directly
+        bool fwdDataSent = false; //!< owner's ack echoed kFwd3
+        bool recall = false;   //!< eviction recall; `next` retries after
+        CohWire next{};        //!< the allocation that forced the recall
+        NodeId nextFrom = -1;
     };
 
     /** Directory entry for one tracked block at its home. */
@@ -168,6 +203,14 @@ class DirectoryFabric final : public CoherenceDomain, public NiPort
         int owner = -1;         //!< global agent holding M/O, or -1
         std::set<int> sharers;  //!< global agents holding S
         bool busy = false;      //!< a transaction is being serviced
+        /**
+         * Created by a writeback to an untracked block (the self-healing
+         * stale-WB race): erased again at release, so it must not count
+         * against the sparse set cap — a set holding one would otherwise
+         * read as full and recall a live way that was about to free.
+         */
+        bool transientWb = false;
+        std::uint64_t lru = 0;  //!< last-service stamp (victim choice)
         std::deque<std::pair<CohWire, NodeId>> waiting;
     };
 
@@ -206,8 +249,28 @@ class DirectoryFabric final : public CoherenceDomain, public NiPort
                     std::uint8_t gathered);
     void finishExclusive(Addr blk, const CohWire &req, NodeId from,
                          std::uint8_t gathered);
+    /** Apply the MOESI GetS transitions; returns "another copy exists". */
+    bool updateGetSDirectory(Addr blk, const CohWire &req,
+                             std::uint8_t gathered);
     void releaseEntry(Addr blk);
     BusAgent *homeAgentFor(Addr a) const;
+    /** Home node of a *global* protocol address (NI space: this node). */
+    NodeId homeOfGlobal(Addr g) const;
+
+    // Sparse-directory machinery (cfg_.entries > 0).
+    bool isSparse() const { return cfg_.entries > 0; }
+    /** Does admitting `w`'s block count against the sparse entry cap? */
+    bool needsEntry(const CohWire &w) const;
+    std::size_t setOf(Addr g) const;
+    /** Resident entries of `set` that count against the way cap. */
+    int occupiedWays(std::size_t set) const;
+    /** LRU non-busy entry of `set`, or 0 when every way is busy. */
+    Addr pickVictim(std::size_t set) const;
+    /** Evict `victim`; `nextFrom` < 0 = overflow trim, no retry. */
+    void startRecall(Addr victim, const CohWire &next, NodeId nextFrom);
+    void finishRecall(Addr victim, std::uint8_t gathered,
+                      const CohWire &next, NodeId nextFrom);
+    void eraseMember(std::size_t set, Addr blk);
 
     // Peer side (probe application).
     void peerApply(const CohWire &w, NodeId home);
@@ -222,14 +285,22 @@ class DirectoryFabric final : public CoherenceDomain, public NiPort
     int numNodes_;
     Interconnect &net_;
     std::string name_;
+    DirParams cfg_;      //!< sparse geometry + hop count
+    int numSets_ = 0;    //!< cfg_.entries / cfg_.assoc (sparse only)
     BusTimingSpec spec_; //!< Table 2 memory-bus rates for the node port
     SerialResource port_; //!< the node's memory path
     BusAgent *agents_[kAgentsPerNode] = {nullptr, nullptr};
     BusAgent *memAgent_ = nullptr; //!< main-memory home agent
     std::uint32_t nextReq_ = 0;
+    std::uint64_t lruSeq_ = 0;
     std::map<std::uint32_t, Pending> pending_;
     std::map<Addr, DirEntry> dir_;
     std::map<Addr, HomeTxn> inflight_;
+    /** Sparse only: tracked main-memory blocks resident per set. */
+    std::map<std::size_t, std::vector<Addr>> setMembers_;
+    /** Allocations stalled on a set whose every way is busy. */
+    std::map<std::size_t, std::deque<std::pair<CohWire, NodeId>>>
+        setWaiting_;
     StatSet stats_;
 };
 

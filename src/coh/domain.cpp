@@ -47,64 +47,4 @@ CoherenceRegistry::instance()
     return *reg;
 }
 
-void
-CoherenceRegistry::register_(const std::string &name, CoherenceTraits traits,
-                             Factory fn)
-{
-    entries_[name] = Entry{traits, std::move(fn)};
-}
-
-bool
-CoherenceRegistry::known(const std::string &name) const
-{
-    return entries_.count(name) != 0;
-}
-
-const CoherenceTraits *
-CoherenceRegistry::traits(const std::string &name) const
-{
-    auto it = entries_.find(name);
-    return it == entries_.end() ? nullptr : &it->second.traits;
-}
-
-std::unique_ptr<CoherenceDomain>
-CoherenceRegistry::make(const std::string &name,
-                        const CohBuildContext &ctx) const
-{
-    auto it = entries_.find(name);
-    if (it == entries_.end()) {
-        cni_fatal("unknown coherence backend '%s' (registered backends: %s)",
-                  name.c_str(), namesCsv().c_str());
-    }
-    return it->second.factory(ctx);
-}
-
-std::vector<std::string>
-CoherenceRegistry::names() const
-{
-    std::vector<std::string> out;
-    for (const auto &[name, e] : entries_)
-        out.push_back(name);
-    return out;
-}
-
-std::string
-CoherenceRegistry::namesCsv() const
-{
-    std::string csv;
-    for (const auto &[name, e] : entries_) {
-        if (!csv.empty())
-            csv += ", ";
-        csv += name;
-    }
-    return csv;
-}
-
-CoherenceRegistrar::CoherenceRegistrar(const char *name,
-                                       CoherenceTraits traits,
-                                       CoherenceRegistry::Factory fn)
-{
-    CoherenceRegistry::instance().register_(name, traits, std::move(fn));
-}
-
 } // namespace cni

@@ -26,14 +26,12 @@
 #ifndef CNI_COH_DOMAIN_HPP
 #define CNI_COH_DOMAIN_HPP
 
-#include <functional>
-#include <map>
 #include <memory>
 #include <string>
-#include <vector>
 
 #include "bus/bus.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/registry.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -52,6 +50,38 @@ enum class NiPlacement
 };
 
 const char *toString(NiPlacement p);
+
+/**
+ * Geometry of a directory-based backend — how much protocol state each
+ * home keeps and how data moves on a remote miss. Plain data carried in
+ * MachineSpec (builder dirEntries()/dirAssoc()/dirHops(), CLI --dir-*),
+ * consumed only by backends whose traits set `directoryGeometry`.
+ */
+struct DirParams
+{
+    /**
+     * Per-home directory entry cap. 0 (default) keeps the exact full
+     * map — every cached block tracked, never a recall. A positive cap
+     * makes the directory sparse: entries are a set-associative cache,
+     * and allocating into a full set forces an eviction — the home
+     * recalls the victim block (invalidates sharers, pulls dirty owner
+     * data back to memory) before reusing the entry.
+     */
+    int entries = 0;
+
+    /** Set associativity of a sparse directory (entries / assoc sets). */
+    int assoc = 4;
+
+    /**
+     * Remote-miss data path. 4 (default): strict home-centric — the
+     * owner's data returns to the home, which grants the requester
+     * (requester -> home -> owner -> home -> requester). 3: the home
+     * forwards the request to the owner, which sends the block straight
+     * to the requester while acking the home in parallel — one fabric
+     * traversal less on every cache-to-cache miss.
+     */
+    int hops = 4;
+};
 
 /**
  * The coherent agents one node attaches to its domain: the processor
@@ -155,6 +185,13 @@ struct CoherenceTraits
     bool supportsCachePlacement = true; //!< can serve a processor-local bus
     bool supportsSnarfing = true; //!< writeback snarfing (a snooping trick)
     /**
+     * Consumes the DirParams geometry knobs (sparse entry cap,
+     * associativity, 3- vs 4-hop data path). The builder rejects
+     * non-default --dir-* settings on backends without it — a snooping
+     * bus has no directory for them to configure.
+     */
+    bool directoryGeometry = false;
+    /**
      * Contributes a "coherence" section to Machine::report(). The snoop
      * backend leaves this false: its stats already flow through the bus
      * StatSets, and legacy reports must stay byte-identical.
@@ -171,12 +208,13 @@ struct CohBuildContext
     NiPlacement placement;
     Interconnect &net;  //!< fabric for overFabric backends
     std::string name;   //!< instance name, e.g. "node3"
+    DirParams dir{};    //!< directory geometry (directoryGeometry traits)
 };
 
 /**
- * Name-keyed factory registry for coherence backends — the same pattern
- * as NiRegistry/NetRegistry, so out-of-tree protocols plug in without
- * touching core code:
+ * Name-keyed factory registry for coherence backends — the shared
+ * Registry template (sim/registry.hpp), so out-of-tree protocols plug
+ * in without touching core code:
  *
  *   namespace { const CoherenceRegistrar reg("myproto",
  *       CoherenceTraits{...},
@@ -184,53 +222,21 @@ struct CohBuildContext
  *   }
  */
 class CoherenceRegistry
+    : public Registry<CoherenceDomain, CoherenceTraits,
+                      const CohBuildContext &>
 {
   public:
-    using Factory = std::function<std::unique_ptr<CoherenceDomain>(
-        const CohBuildContext &)>;
+    CoherenceRegistry()
+        : Registry("coherence backend", "registered backends")
+    {
+    }
 
     /** The process-wide registry (builtin backends are ensured here). */
     static CoherenceRegistry &instance();
-
-    /** Register a backend; re-registering a name replaces it. */
-    void register_(const std::string &name, CoherenceTraits traits,
-                   Factory fn);
-
-    bool known(const std::string &name) const;
-
-    /** Traits for `name`, or nullptr when unknown. */
-    const CoherenceTraits *traits(const std::string &name) const;
-
-    /**
-     * Construct one node's domain. Fatal (with the list of registered
-     * backends) on an unknown name — an unknown protocol is a
-     * configuration error.
-     */
-    std::unique_ptr<CoherenceDomain> make(const std::string &name,
-                                          const CohBuildContext &ctx) const;
-
-    /** Registered backend names, sorted. */
-    std::vector<std::string> names() const;
-
-    /** Comma-separated backend names, for error messages. */
-    std::string namesCsv() const;
-
-  private:
-    struct Entry
-    {
-        CoherenceTraits traits;
-        Factory factory;
-    };
-
-    std::map<std::string, Entry> entries_;
 };
 
 /** Registers a backend at static-initialization time (out-of-tree). */
-struct CoherenceRegistrar
-{
-    CoherenceRegistrar(const char *name, CoherenceTraits traits,
-                       CoherenceRegistry::Factory fn);
-};
+using CoherenceRegistrar = Registrar<CoherenceRegistry>;
 
 namespace detail
 {

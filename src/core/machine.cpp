@@ -67,6 +67,12 @@ MachineSpec::label() const
         s += "/";
         s += coherence;
     }
+    if (dir.entries > 0) {
+        s += "+dir" + std::to_string(dir.entries) + "x" +
+             std::to_string(dir.assoc);
+    }
+    if (dir.hops == 3)
+        s += "+3hop";
     return s;
 }
 
@@ -117,6 +123,26 @@ MachineSpec::valid(std::string *why) const
         return fail("writeback snarfing rides snooping-bus broadcasts: "
                     "coherence backend '" + coherence +
                     "' cannot provide it");
+    }
+    if (dir.hops != 3 && dir.hops != 4) {
+        return fail("dirHops must be 3 (owner forwards the requester "
+                    "directly) or 4 (home-centric), not " +
+                    std::to_string(dir.hops));
+    }
+    if (dir.entries < 0 || dir.assoc < 1)
+        return fail("directory geometry wants entries >= 0 and assoc >= 1");
+    if (dir.entries > 0 && dir.entries % dir.assoc != 0) {
+        return fail("dirEntries (" + std::to_string(dir.entries) +
+                    ") must be a multiple of dirAssoc (" +
+                    std::to_string(dir.assoc) + ")");
+    }
+    const bool dirKnobs =
+        dir.entries != 0 || dir.assoc != DirParams{}.assoc ||
+        dir.hops != DirParams{}.hops;
+    if (dirKnobs && !coh->directoryGeometry) {
+        return fail("dirEntries/dirAssoc/dirHops configure a directory's "
+                    "geometry: backend '" + coherence +
+                    "' has no directory for them to shape");
     }
     if (coh->snooping && coh->maxBusAgents > 0 &&
         kCohAgentsPerNode > coh->maxBusAgents) {
@@ -254,7 +280,7 @@ Machine::Machine(MachineSpec spec) : spec_(std::move(spec))
         EventQueue &neq = eq(id);
         node->mem = std::make_unique<NodeMemory>();
         CohBuildContext cohCtx{neq,  id,   spec_.numNodes,
-                               spec_.placement, *net_, name};
+                               spec_.placement, *net_, name, spec_.dir};
         node->coh =
             CoherenceRegistry::instance().make(spec_.coherence, cohCtx);
         node->mainMem = std::make_unique<MainMemory>(name + ".memory");
@@ -415,6 +441,11 @@ Machine::report() const
     if (ct && ct->reportSection) {
         w.key("coherence").beginObject();
         w.key("kind").value(spec_.coherence);
+        if (ct->directoryGeometry) {
+            w.key("dir_entries").value(spec_.dir.entries);
+            w.key("dir_assoc").value(spec_.dir.assoc);
+            w.key("dir_hops").value(spec_.dir.hops);
+        }
         w.key("nodes").beginArray();
         for (NodeId id = 0; id < spec_.numNodes; ++id) {
             w.beginObject();

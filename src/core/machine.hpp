@@ -88,6 +88,13 @@ struct MachineSpec
      */
     std::string coherence = "snoop";
     /**
+     * Directory geometry (backends with the directoryGeometry trait):
+     * sparse per-home entry cap + associativity (0 entries = exact full
+     * map) and the remote-miss data path (4-hop home-centric vs 3-hop
+     * owner forwarding). See coh/domain.hpp.
+     */
+    DirParams dir;
+    /**
      * Simulation kernel selection. 0 (default): the classic serial
      * kernel — one global-order event queue, the paper-exact execution
      * order. >= 1: the sharded kernel (one shard per node, conservative
@@ -155,6 +162,30 @@ class MachineBuilder
     coherence(const std::string &backend)
     {
         spec_.coherence = backend;
+        return *this;
+    }
+
+    /** Per-home directory entry cap; 0 = exact full map (default). */
+    MachineBuilder &
+    dirEntries(int n)
+    {
+        spec_.dir.entries = n;
+        return *this;
+    }
+
+    /** Sparse directory set associativity (entries / assoc sets). */
+    MachineBuilder &
+    dirAssoc(int ways)
+    {
+        spec_.dir.assoc = ways;
+        return *this;
+    }
+
+    /** Remote-miss data path: 4 = home-centric, 3 = owner forwards. */
+    MachineBuilder &
+    dirHops(int n)
+    {
+        spec_.dir.hops = n;
         return *this;
     }
 

@@ -256,63 +256,4 @@ NetRegistry::instance()
     return *reg;
 }
 
-void
-NetRegistry::register_(const std::string &name, NetTraits traits,
-                       Factory fn)
-{
-    entries_[name] = Entry{traits, std::move(fn)};
-}
-
-bool
-NetRegistry::known(const std::string &name) const
-{
-    return entries_.count(name) != 0;
-}
-
-const NetTraits *
-NetRegistry::traits(const std::string &name) const
-{
-    auto it = entries_.find(name);
-    return it == entries_.end() ? nullptr : &it->second.traits;
-}
-
-std::unique_ptr<Interconnect>
-NetRegistry::make(const std::string &name, EventQueue &eq, int numNodes,
-                  const NetParams &params) const
-{
-    auto it = entries_.find(name);
-    if (it == entries_.end()) {
-        cni_fatal("unknown interconnect '%s' (registered models: %s)",
-                  name.c_str(), namesCsv().c_str());
-    }
-    return it->second.factory(eq, numNodes, params);
-}
-
-std::vector<std::string>
-NetRegistry::names() const
-{
-    std::vector<std::string> out;
-    for (const auto &[name, e] : entries_)
-        out.push_back(name);
-    return out;
-}
-
-std::string
-NetRegistry::namesCsv() const
-{
-    std::string csv;
-    for (const auto &[name, e] : entries_) {
-        if (!csv.empty())
-            csv += ", ";
-        csv += name;
-    }
-    return csv;
-}
-
-NetRegistrar::NetRegistrar(const char *name, NetTraits traits,
-                           NetRegistry::Factory fn)
-{
-    NetRegistry::instance().register_(name, traits, std::move(fn));
-}
-
 } // namespace cni

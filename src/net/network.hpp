@@ -42,6 +42,7 @@
 #include "net/params.hpp"
 #include "net/payload.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/registry.hpp"
 #include "sim/shard.hpp"
 #include "sim/stats.hpp"
 #include "sim/task.hpp"
@@ -322,62 +323,27 @@ struct NetTraits
 };
 
 /**
- * Name-keyed factory registry for interconnect models — the same
- * pattern NiRegistry uses for NI devices, so out-of-tree fabrics plug
- * in without touching core code:
+ * Name-keyed factory registry for interconnect models — the shared
+ * Registry template (sim/registry.hpp), so out-of-tree fabrics plug in
+ * without touching core code:
  *
  *   namespace { const NetRegistrar reg("mynet", NetTraits{...},
  *       [](EventQueue &eq, int n, const NetParams &p) {
  *           return std::make_unique<MyNet>(eq, n, p); });
  *   }
  */
-class NetRegistry
+class NetRegistry : public Registry<Interconnect, NetTraits, EventQueue &,
+                                    int, const NetParams &>
 {
   public:
-    using Factory = std::function<std::unique_ptr<Interconnect>(
-        EventQueue &, int, const NetParams &)>;
+    NetRegistry() : Registry("interconnect", "registered models") {}
 
     /** The process-wide registry (builtin models are ensured here). */
     static NetRegistry &instance();
-
-    /** Register a model; re-registering a name replaces it. */
-    void register_(const std::string &name, NetTraits traits, Factory fn);
-
-    bool known(const std::string &name) const;
-
-    /** Traits for `name`, or nullptr when unknown. */
-    const NetTraits *traits(const std::string &name) const;
-
-    /**
-     * Construct a fabric. Fatal (with the list of registered models) on
-     * an unknown name — an unknown topology is a configuration error.
-     */
-    std::unique_ptr<Interconnect> make(const std::string &name,
-                                       EventQueue &eq, int numNodes,
-                                       const NetParams &params) const;
-
-    /** Registered model names, sorted. */
-    std::vector<std::string> names() const;
-
-    /** Comma-separated model names, for error messages. */
-    std::string namesCsv() const;
-
-  private:
-    struct Entry
-    {
-        NetTraits traits;
-        Factory factory;
-    };
-
-    std::map<std::string, Entry> entries_;
 };
 
 /** Registers a model at static-initialization time (out-of-tree nets). */
-struct NetRegistrar
-{
-    NetRegistrar(const char *name, NetTraits traits,
-                 NetRegistry::Factory fn);
-};
+using NetRegistrar = Registrar<NetRegistry>;
 
 namespace detail
 {

@@ -1,7 +1,5 @@
 #include "ni/registry.hpp"
 
-#include "sim/logging.hpp"
-
 namespace cni
 {
 
@@ -17,65 +15,6 @@ NiRegistry::instance()
     }();
     (void)builtinsRegistered;
     return reg;
-}
-
-void
-NiRegistry::register_(const std::string &name, NiTraits traits, Factory fn)
-{
-    cni_assert(fn != nullptr);
-    entries_[name] = Entry{traits, std::move(fn)};
-}
-
-bool
-NiRegistry::known(const std::string &name) const
-{
-    return entries_.count(name) != 0;
-}
-
-const NiTraits *
-NiRegistry::traits(const std::string &name) const
-{
-    auto it = entries_.find(name);
-    return it == entries_.end() ? nullptr : &it->second.traits;
-}
-
-std::unique_ptr<NetIface>
-NiRegistry::make(const std::string &name, const NiBuildContext &ctx) const
-{
-    auto it = entries_.find(name);
-    if (it == entries_.end()) {
-        cni_fatal("unknown NI model '%s' (registered models: %s)",
-                  name.c_str(), namesCsv().c_str());
-    }
-    return it->second.factory(ctx);
-}
-
-std::vector<std::string>
-NiRegistry::names() const
-{
-    std::vector<std::string> out;
-    out.reserve(entries_.size());
-    for (const auto &[name, entry] : entries_)
-        out.push_back(name);
-    return out;
-}
-
-std::string
-NiRegistry::namesCsv() const
-{
-    std::string csv;
-    for (const auto &[name, entry] : entries_) {
-        if (!csv.empty())
-            csv += ", ";
-        csv += name;
-    }
-    return csv;
-}
-
-NiRegistrar::NiRegistrar(const char *name, NiTraits traits,
-                         NiRegistry::Factory fn)
-{
-    NiRegistry::instance().register_(name, traits, std::move(fn));
 }
 
 } // namespace cni

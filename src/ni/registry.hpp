@@ -20,13 +20,10 @@
 #ifndef CNI_NI_REGISTRY_HPP
 #define CNI_NI_REGISTRY_HPP
 
-#include <functional>
-#include <map>
-#include <memory>
 #include <string>
-#include <vector>
 
 #include "ni/net_iface.hpp"
+#include "sim/registry.hpp"
 
 namespace cni
 {
@@ -63,50 +60,17 @@ struct NiBuildContext
 };
 
 class NiRegistry
+    : public Registry<NetIface, NiTraits, const NiBuildContext &>
 {
   public:
-    using Factory =
-        std::function<std::unique_ptr<NetIface>(const NiBuildContext &)>;
+    NiRegistry() : Registry("NI model", "registered models") {}
 
     /** The process-wide registry (builtin models are ensured here). */
     static NiRegistry &instance();
-
-    /** Register a device model; re-registering a name replaces it. */
-    void register_(const std::string &name, NiTraits traits, Factory fn);
-
-    bool known(const std::string &name) const;
-
-    /** Traits for `name`, or nullptr when unknown. */
-    const NiTraits *traits(const std::string &name) const;
-
-    /**
-     * Construct a device. Fatal (with the list of registered models) on
-     * an unknown name — an unknown model is a configuration error.
-     */
-    std::unique_ptr<NetIface> make(const std::string &name,
-                                   const NiBuildContext &ctx) const;
-
-    /** Registered model names, sorted. */
-    std::vector<std::string> names() const;
-
-    /** Comma-separated model names, for error messages. */
-    std::string namesCsv() const;
-
-  private:
-    struct Entry
-    {
-        NiTraits traits;
-        Factory factory;
-    };
-
-    std::map<std::string, Entry> entries_;
 };
 
 /** Registers a model at static-initialization time (out-of-tree NIs). */
-struct NiRegistrar
-{
-    NiRegistrar(const char *name, NiTraits traits, NiRegistry::Factory fn);
-};
+using NiRegistrar = Registrar<NiRegistry>;
 
 namespace detail
 {

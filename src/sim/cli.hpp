@@ -11,6 +11,12 @@
  *   --net MODEL       interconnect (NetRegistry): ideal|mesh|torus|xbar
  *   --coherence B     coherence backend (CoherenceRegistry):
  *                     snoop (default) | directory
+ *   --dir-entries N   sparse directory: per-home entry cap (0 = exact
+ *                     full map, the default)
+ *   --dir-assoc N     sparse directory set associativity (default 4)
+ *   --dir-hops N      remote-miss data path: 4 = home-centric (default),
+ *                     3 = the owner forwards data straight to the
+ *                     requester and acks the home in parallel
  *   --net-latency N   fabric latency in cycles (ideal/xbar transit)
  *   --link-bw N       link/port bandwidth in bytes per cycle (mesh/xbar)
  *   --window N        sliding-window depth per destination
@@ -64,6 +70,9 @@ struct Options
     std::optional<bool> snarf;
     std::optional<std::string> net;
     std::optional<std::string> coherence;
+    std::optional<int> dirEntries;
+    std::optional<int> dirAssoc;
+    std::optional<int> dirHops;
     std::optional<Tick> netLatency;
     std::optional<std::size_t> linkBw;
     std::optional<int> window;
@@ -103,6 +112,12 @@ struct Options
             b.net(*net);
         if (coherence)
             b.coherence(*coherence);
+        if (dirEntries)
+            b.dirEntries(*dirEntries);
+        if (dirAssoc)
+            b.dirAssoc(*dirAssoc);
+        if (dirHops)
+            b.dirHops(*dirHops);
         if (netLatency)
             b.netLatency(*netLatency);
         if (linkBw)
@@ -158,7 +173,8 @@ parse(int argc, char **argv, const char *extraUsage = nullptr)
             "usage: %s [--ni MODEL] [--nodes N] [--contexts N]\n"
             "       [--placement memory|io|cache] [--snarf]\n"
             "       [--net ideal|mesh|torus|xbar]\n"
-            "       [--coherence snoop|directory] [--net-latency N]\n"
+            "       [--coherence snoop|directory] [--dir-entries N]\n"
+            "       [--dir-assoc N] [--dir-hops 3|4] [--net-latency N]\n"
             "       [--link-bw N] [--window N] [--net-retry N]\n"
             "       [--mesh-dims XxY] [--threads N] [--seed S]\n"
             "       [--json PATH|-|none] %s\n"
@@ -197,6 +213,42 @@ parse(int argc, char **argv, const char *extraUsage = nullptr)
             ++i;
         } else if (a == "--coherence") {
             o.coherence = need(i);
+            ++i;
+        } else if (a == "--dir-entries" || a == "--dir-assoc") {
+            // Strict parse: atoi's silent 0 would mean "exact full map"
+            // (or fail much later with a message that never names the
+            // flag), turning a typo into a different experiment.
+            const char *arg = need(i);
+            char *end = nullptr;
+            const long n = std::strtol(arg, &end, 10);
+            if (end == arg || *end != '\0' || n < 0 ||
+                n > (1 << 24)) {
+                std::fprintf(stderr,
+                             "%s: %s wants a non-negative integer, "
+                             "got '%s'\n",
+                             o.prog.c_str(), a.c_str(), arg);
+                usage(1);
+            }
+            if (a == "--dir-entries")
+                o.dirEntries = static_cast<int>(n);
+            else
+                o.dirAssoc = static_cast<int>(n);
+            ++i;
+        } else if (a == "--dir-hops") {
+            // Strict parse: only 3 and 4 are protocols we implement, and
+            // atoi's silent 0 (or trailing garbage) would either be
+            // rejected much later with a less direct message or run a
+            // different experiment.
+            const char *arg = need(i);
+            char *end = nullptr;
+            const long n = std::strtol(arg, &end, 10);
+            if (end == arg || *end != '\0' || (n != 3 && n != 4)) {
+                std::fprintf(stderr,
+                             "%s: --dir-hops wants 3 or 4, got '%s'\n",
+                             o.prog.c_str(), arg);
+                usage(1);
+            }
+            o.dirHops = n;
             ++i;
         } else if (a == "--net-latency") {
             o.netLatency = std::strtoull(need(i), nullptr, 10);

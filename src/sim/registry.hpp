@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Name-keyed factory + traits registry template.
+ *
+ * Three pluggable seams share the exact same registration pattern: NI
+ * devices (NiRegistry), interconnect models (NetRegistry), and coherence
+ * backends (CoherenceRegistry). Each maps a model name to a traits
+ * record — consulted by the machine builder for up-front validation —
+ * plus a factory, and each reports unknown names fatally with the list
+ * of registered alternatives. This template is that pattern, written
+ * once, so the next pluggable seam (routing policies, flow-control
+ * models) is a subclass one-liner:
+ *
+ *   class MyRegistry
+ *       : public Registry<MyProduct, MyTraits, const MyContext &>
+ *   {
+ *     public:
+ *       MyRegistry() : Registry("widget", "registered widgets") {}
+ *       static MyRegistry &instance();
+ *   };
+ *
+ * Concrete registries keep their own instance() (where builtin models
+ * are force-registered so a static-library link never drops them) and a
+ * Registrar<MyRegistry> alias for out-of-tree static registration.
+ */
+
+#ifndef CNI_SIM_REGISTRY_HPP
+#define CNI_SIM_REGISTRY_HPP
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hpp"
+
+namespace cni
+{
+
+template <typename ProductT, typename TraitsT, typename... MakeArgs>
+class Registry
+{
+  public:
+    using Product = ProductT;
+    using Traits = TraitsT;
+    using Factory = std::function<std::unique_ptr<Product>(MakeArgs...)>;
+
+    /**
+     * @param what   what one entry is, for error messages ("NI model")
+     * @param plural the registered-set description those messages list
+     *               the alternatives under ("registered models")
+     */
+    Registry(const char *what, const char *plural)
+        : what_(what), plural_(plural)
+    {
+    }
+
+    /** Register a model; re-registering a name replaces it. */
+    void
+    register_(const std::string &name, Traits traits, Factory fn)
+    {
+        cni_assert(fn != nullptr);
+        entries_[name] = Entry{std::move(traits), std::move(fn)};
+    }
+
+    bool known(const std::string &name) const
+    {
+        return entries_.count(name) != 0;
+    }
+
+    /** Traits for `name`, or nullptr when unknown. */
+    const Traits *
+    traits(const std::string &name) const
+    {
+        auto it = entries_.find(name);
+        return it == entries_.end() ? nullptr : &it->second.traits;
+    }
+
+    /**
+     * Construct a product. Fatal (with the list of registered names) on
+     * an unknown name — an unknown model is a configuration error.
+     */
+    std::unique_ptr<Product>
+    make(const std::string &name, MakeArgs... args) const
+    {
+        auto it = entries_.find(name);
+        if (it == entries_.end()) {
+            cni_fatal("unknown %s '%s' (%s: %s)", what_, name.c_str(),
+                      plural_, namesCsv().c_str());
+        }
+        return it->second.factory(std::forward<MakeArgs>(args)...);
+    }
+
+    /** Registered names, sorted. */
+    std::vector<std::string>
+    names() const
+    {
+        std::vector<std::string> out;
+        out.reserve(entries_.size());
+        for (const auto &[name, entry] : entries_)
+            out.push_back(name);
+        return out;
+    }
+
+    /** Comma-separated names, for error messages. */
+    std::string
+    namesCsv() const
+    {
+        std::string csv;
+        for (const auto &[name, entry] : entries_) {
+            if (!csv.empty())
+                csv += ", ";
+            csv += name;
+        }
+        return csv;
+    }
+
+  private:
+    struct Entry
+    {
+        Traits traits;
+        Factory factory;
+    };
+
+    const char *what_;
+    const char *plural_;
+    std::map<std::string, Entry> entries_;
+};
+
+/**
+ * Registers a model in `Reg` at static-initialization time — the
+ * out-of-tree hook (builtin models register through instance() instead,
+ * which static-library links cannot drop):
+ *
+ *   namespace { const Registrar<NiRegistry> reg("MyNI", NiTraits{...},
+ *       [](const NiBuildContext &c) { return std::make_unique<My>(...); });
+ *   }
+ */
+template <typename Reg>
+struct Registrar
+{
+    Registrar(const char *name, typename Reg::Traits traits,
+              typename Reg::Factory fn)
+    {
+        Reg::instance().register_(name, std::move(traits), std::move(fn));
+    }
+};
+
+} // namespace cni
+
+#endif // CNI_SIM_REGISTRY_HPP

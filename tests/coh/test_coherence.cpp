@@ -47,6 +47,8 @@ TEST(CoherenceRegistry, BuiltinBackendsAreRegistered)
     EXPECT_FALSE(dir->supportsIoPlacement);
     EXPECT_FALSE(dir->supportsCachePlacement);
     EXPECT_FALSE(dir->supportsSnarfing);
+    EXPECT_TRUE(dir->directoryGeometry);
+    EXPECT_FALSE(snoop->directoryGeometry);
     EXPECT_TRUE(dir->reportSection);
 }
 
@@ -116,6 +118,45 @@ TEST(CoherenceValidation, DirectoryRejectsSnarfing)
                      .snarfing()
                      .valid(&why));
     EXPECT_NE(why.find("snarfing"), std::string::npos) << why;
+}
+
+TEST(CoherenceValidation, DirGeometryKnobsNeedADirectoryBackend)
+{
+    std::string why;
+    // The snoop default has no directory for --dir-* knobs to shape.
+    EXPECT_FALSE(Machine::describe().nodes(2).dirEntries(64).valid(&why));
+    EXPECT_NE(why.find("geometry"), std::string::npos) << why;
+    EXPECT_FALSE(Machine::describe().nodes(2).dirHops(3).valid(&why));
+    // Geometry sanity regardless of backend.
+    EXPECT_FALSE(Machine::describe()
+                     .nodes(2)
+                     .coherence("directory")
+                     .net("mesh")
+                     .dirHops(5)
+                     .valid(&why));
+    EXPECT_NE(why.find("dirHops"), std::string::npos) << why;
+    EXPECT_FALSE(Machine::describe()
+                     .nodes(2)
+                     .coherence("directory")
+                     .net("mesh")
+                     .dirEntries(10)
+                     .dirAssoc(4)
+                     .valid(&why));
+    EXPECT_NE(why.find("multiple"), std::string::npos) << why;
+    // The full matrix of sane settings builds.
+    for (const int entries : {0, 8, 64}) {
+        for (const int hops : {3, 4}) {
+            EXPECT_TRUE(Machine::describe()
+                            .nodes(2)
+                            .coherence("directory")
+                            .net("mesh")
+                            .dirEntries(entries)
+                            .dirAssoc(4)
+                            .dirHops(hops)
+                            .valid(&why))
+                << entries << "/" << hops << ": " << why;
+        }
+    }
 }
 
 TEST(CoherenceValidation, SnoopingAgentCapIsEnforced)
@@ -357,6 +398,52 @@ TEST(DirectoryDomain, ShardedKernelIsBitIdenticalToOneThread)
     const std::string serialShard = runOnce(1);
     const std::string fourThreads = runOnce(4);
     EXPECT_EQ(serialShard, fourThreads);
+}
+
+TEST(DirectoryDomain, SparsePingPongRecallsAndStillConverges)
+{
+    // A directory with almost no reach: CNI16Qm's queue blocks plus the
+    // polled state far exceed four entries per home, so evictions and
+    // recalls fire constantly — and the workload must still finish.
+    Machine m = Machine::describe()
+                    .nodes(2)
+                    .ni("CNI16Qm")
+                    .coherence("directory")
+                    .net("mesh")
+                    .dirEntries(4)
+                    .dirAssoc(4)
+                    .build();
+    pingPong(m, 3);
+    const StatSet agg = m.aggregateStats();
+    EXPECT_GT(agg.counter("dir_evictions"), 0u);
+    EXPECT_GT(agg.counter("dir_recalls"), 0u);
+    const std::string json = m.report();
+    EXPECT_NE(json.find("\"dir_entries\":4"), std::string::npos);
+    EXPECT_NE(json.find("\"dir_recalls\""), std::string::npos);
+    EXPECT_NE(json.find("+dir4x4"), std::string::npos); // label suffix
+}
+
+TEST(DirectoryDomain, ThreeHopForwardingCutsRoundTripLatency)
+{
+    // The acceptance bar behind fig_coverage: with owner-forwarded
+    // misses in the path (CNI16Qm's memory-homed queue hand-offs),
+    // 3-hop must beat strict 4-hop on the same machine.
+    MachineBuilder four = Machine::describe()
+                              .nodes(2)
+                              .ni("CNI16Qm")
+                              .net("mesh")
+                              .coherence("directory")
+                              .dirHops(4);
+    MachineBuilder three = Machine::describe()
+                               .nodes(2)
+                               .ni("CNI16Qm")
+                               .net("mesh")
+                               .coherence("directory")
+                               .dirHops(3);
+    const double fourUs = roundTripLatency(four.spec(), 64).microseconds;
+    const double threeUs = roundTripLatency(three.spec(), 64).microseconds;
+    EXPECT_GT(fourUs, 0.0);
+    EXPECT_LT(threeUs, fourUs);
 }
 
 TEST(DirectoryDomain, RoundTripLatencyIsFiniteAndOrdered)

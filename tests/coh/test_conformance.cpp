@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Cross-backend conformance fuzzer.
+ *
+ * The safety net under every coherence-protocol rewrite: seeded random
+ * traces of processor reads/writes (including cache-conflict aliases
+ * that force writebacks) and cross-node messaging are driven through
+ * the snoop backend and every directory configuration — full-map and
+ * sparse, 4-hop and 3-hop — on the same MachineSpec, and the final
+ * per-node memory images must be bit-identical to each other and to a
+ * shadow model of the trace.
+ *
+ * Invariants proven per seed:
+ *  - every workload converges (no protocol deadlock), even with a tiny
+ *    sparse directory whose every allocation forces a recall;
+ *  - every coherent read observes the program-order value of its node's
+ *    last write (values live in NodeMemory; the protocol must complete
+ *    the right transactions in the right order for this to hold);
+ *  - message payloads land exactly once, in per-sender order, at the
+ *    expected slots — identical final images across all backends;
+ *  - sparse runs actually exercise the eviction path (recall counters).
+ *
+ * The sharded-kernel variant re-runs three seeds on --threads 4 (the
+ * TSan CI job's slice) and checks bit-identical reports against
+ * --threads 1 plus image equality with the serial snoop run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "proc/proc.hpp"
+#include "sim/random.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define CNI_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CNI_TSAN 1
+#endif
+#endif
+
+namespace cni
+{
+namespace
+{
+
+constexpr int kNodes = 4;
+constexpr int kOpsPerNode = 24;
+constexpr int kMaxMsgsPerPair = 32;
+
+// Plain pool blocks (distinct cache lines 1..12)...
+constexpr int kPlainBlocks = 12;
+// ...plus aliases that all map to processor-cache line 0, so stores
+// force victim writebacks and keep the directory churning. Their homes
+// all land on node 0, concentrating sparse-set pressure.
+constexpr int kAliasBlocks = 4;
+constexpr Addr kAliasStride = Addr(kProcCacheBlocks) * kBlockBytes;
+
+// Message slots live far above every NI-owned main-memory structure
+// (ni/params.hpp tops out below 0x0800'0000).
+constexpr Addr kSlotBase = kMemBase + 0x0800'0000;
+
+Addr
+poolAddr(int j)
+{
+    if (j < kPlainBlocks)
+        return kMemBase + Addr(j + 1) * kBlockBytes;
+    return kMemBase + Addr(j - kPlainBlocks + 1) * kAliasStride;
+}
+
+constexpr int kPoolSize = kPlainBlocks + kAliasBlocks;
+
+Addr
+slotAddr(NodeId src, int idx)
+{
+    return kSlotBase + (Addr(src) * kMaxMsgsPerPair + Addr(idx)) *
+                           kBlockBytes;
+}
+
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** The word a message from `src` (its `idx`-th to this receiver) carries. */
+std::uint64_t
+msgWord(std::uint64_t seed, NodeId src, NodeId dst, int idx)
+{
+    return mix(seed ^ (std::uint64_t(src) << 8) ^
+               (std::uint64_t(dst) << 16) ^ (std::uint64_t(idx) << 24));
+}
+
+struct TraceOp
+{
+    enum Kind
+    {
+        Write,
+        Read,
+        Send,
+        Delay
+    } kind;
+    int pool = 0;          //!< Write/Read: pool index
+    std::uint64_t value = 0;
+    NodeId dst = 0;        //!< Send
+    int bytes = 0;         //!< Send payload size
+    Tick delay = 0;        //!< Delay
+};
+
+/** The per-node op sequence is a pure function of (seed, node). */
+std::vector<TraceOp>
+makeTrace(std::uint64_t seed, NodeId node)
+{
+    Rng rng(mix(seed) ^ (std::uint64_t(node) + 1) * 0x9e3779b97f4a7c15ULL);
+    std::vector<TraceOp> ops;
+    for (int i = 0; i < kOpsPerNode; ++i) {
+        TraceOp op;
+        const std::uint64_t r = rng.below(100);
+        if (r < 40) {
+            op.kind = TraceOp::Write;
+            op.pool = int(rng.below(kPoolSize));
+            op.value = rng.next();
+        } else if (r < 60) {
+            op.kind = TraceOp::Read;
+            op.pool = int(rng.below(kPoolSize));
+        } else if (r < 85) {
+            op.kind = TraceOp::Send;
+            op.dst = NodeId(rng.below(kNodes - 1));
+            if (op.dst >= node)
+                ++op.dst; // never self
+            op.bytes = 16 + int(rng.below(12)) * 8;
+        } else {
+            op.kind = TraceOp::Delay;
+            op.delay = 1 + Tick(rng.below(200));
+        }
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+/** Sends from src to dst in the trace, in program order. */
+int
+sendCount(std::uint64_t seed, NodeId src, NodeId dst)
+{
+    int n = 0;
+    for (const TraceOp &op : makeTrace(seed, src)) {
+        if (op.kind == TraceOp::Send && op.dst == dst)
+            ++n;
+    }
+    return n;
+}
+
+struct BackendCfg
+{
+    const char *label;
+    const char *coherence;
+    int dirEntries = 0;
+    int dirHops = 4;
+    int threads = 0;
+};
+
+struct RunResult
+{
+    // addr -> word, per node, over the pool + every expected slot.
+    std::array<std::map<Addr, std::uint64_t>, kNodes> image;
+    std::uint64_t evictions = 0;
+    std::uint64_t recalls = 0;
+    std::string report;
+};
+
+// Per-node inbound bookkeeping. Plain statics, reset per run: under the
+// sharded kernel each element is only ever touched from its receiver
+// node's shard (see test_coherence.cpp's pongsStorage note).
+std::array<int, kNodes> gReceived;
+std::array<std::array<int, kNodes>, kNodes> gSeqFrom; // [dst][src]
+
+RunResult
+runTrace(std::uint64_t seed, const BackendCfg &cfg)
+{
+    MachineBuilder b = Machine::describe()
+                           .nodes(kNodes)
+                           .ni("CNI16Qm")
+                           .net("mesh")
+                           .coherence(cfg.coherence)
+                           .threads(cfg.threads);
+    if (cfg.dirEntries > 0)
+        b.dirEntries(cfg.dirEntries).dirAssoc(4);
+    b.dirHops(cfg.dirHops);
+    std::string why;
+    EXPECT_TRUE(b.valid(&why)) << cfg.label << ": " << why;
+    Machine m = b.build();
+
+    gReceived.fill(0);
+    for (auto &row : gSeqFrom)
+        row.fill(0);
+
+    // Expected inbound per node, from the pure trace function.
+    std::array<int, kNodes> inbound{};
+    for (NodeId s = 0; s < kNodes; ++s)
+        for (NodeId d = 0; d < kNodes; ++d)
+            inbound[d] += s == d ? 0 : sendCount(seed, s, d);
+
+    // Receivers: each delivered payload word goes to the slot derived
+    // from (sender, per-sender sequence) — a coherent store, so the
+    // landing itself exercises the protocol under test.
+    for (NodeId d = 0; d < kNodes; ++d) {
+        m.endpoint(d).onMessage(
+            1, [&m, d](const UserMsg &u) -> CoTask<void> {
+                const int idx = gSeqFrom[d][u.src]++;
+                std::uint64_t word = 0;
+                std::memcpy(&word, u.payload.data(),
+                            std::min<std::size_t>(8, u.payload.size()));
+                co_await m.proc(d).write64(slotAddr(u.src, idx), word);
+                ++gReceived[d];
+            });
+    }
+
+    for (NodeId n = 0; n < kNodes; ++n) {
+        m.spawn(n, [](Machine &m, NodeId n, std::uint64_t seed,
+                      int expected) -> CoTask<void> {
+            std::map<Addr, std::uint64_t> shadow;
+            std::array<int, kNodes> sent{};
+            for (const TraceOp &op : makeTrace(seed, n)) {
+                switch (op.kind) {
+                  case TraceOp::Write: {
+                    const Addr a = poolAddr(op.pool);
+                    co_await m.proc(n).write64(a, op.value);
+                    shadow[a] = op.value;
+                    break;
+                  }
+                  case TraceOp::Read: {
+                    const Addr a = poolAddr(op.pool);
+                    const std::uint64_t v = co_await m.proc(n).read64(a);
+                    const auto it = shadow.find(a);
+                    EXPECT_EQ(v, it == shadow.end() ? 0 : it->second)
+                        << "node " << n << " read of pool[" << op.pool
+                        << "]";
+                    break;
+                  }
+                  case TraceOp::Send: {
+                    std::vector<std::uint8_t> p(op.bytes, 0);
+                    const std::uint64_t word =
+                        msgWord(seed, n, op.dst, sent[op.dst]++);
+                    std::memcpy(p.data(), &word, 8);
+                    co_await m.endpoint(n).send(op.dst, 1, p.data(),
+                                                p.size());
+                    break;
+                  }
+                  case TraceOp::Delay:
+                    co_await m.proc(n).delay(op.delay);
+                    break;
+                }
+            }
+            co_await m.endpoint(n).pollUntil(
+                [n, expected] { return gReceived[n] >= expected; });
+        }(m, n, seed, inbound[n]));
+    }
+
+    // runUntil, not run(): a protocol livelock then fails the assert
+    // below instead of hanging the whole suite.
+    m.runUntil(50'000'000);
+    EXPECT_TRUE(m.workloadDone())
+        << cfg.label << " seed " << seed << " did not converge";
+
+    RunResult r;
+    for (NodeId n = 0; n < kNodes; ++n) {
+        for (int j = 0; j < kPoolSize; ++j)
+            r.image[n][poolAddr(j)] = m.mem(n).read64(poolAddr(j));
+        for (NodeId s = 0; s < kNodes; ++s) {
+            const int cnt = s == n ? 0 : sendCount(seed, s, n);
+            for (int i = 0; i < cnt; ++i)
+                r.image[n][slotAddr(s, i)] =
+                    m.mem(n).read64(slotAddr(s, i));
+        }
+    }
+    const StatSet agg = m.aggregateStats();
+    r.evictions = agg.counter("dir_evictions");
+    r.recalls = agg.counter("dir_recalls");
+    r.report = m.report();
+    return r;
+}
+
+/** The image the trace demands, independent of any backend. */
+std::array<std::map<Addr, std::uint64_t>, kNodes>
+expectedImage(std::uint64_t seed)
+{
+    std::array<std::map<Addr, std::uint64_t>, kNodes> img;
+    for (NodeId n = 0; n < kNodes; ++n) {
+        std::array<int, kNodes> sent{};
+        for (int j = 0; j < kPoolSize; ++j)
+            img[n][poolAddr(j)] = 0;
+        for (const TraceOp &op : makeTrace(seed, n)) {
+            if (op.kind == TraceOp::Write) {
+                img[n][poolAddr(op.pool)] = op.value;
+            } else if (op.kind == TraceOp::Send) {
+                const int idx = sent[op.dst]++;
+                img[op.dst][slotAddr(n, idx)] =
+                    msgWord(seed, n, op.dst, idx);
+            }
+        }
+    }
+    return img;
+}
+
+const BackendCfg kBackends[] = {
+    {"snoop", "snoop"},
+    {"dir-full-4hop", "directory", 0, 4},
+    {"dir-full-3hop", "directory", 0, 3},
+    {"dir-sparse8-4hop", "directory", 8, 4},
+    {"dir-sparse8-3hop", "directory", 8, 3},
+};
+
+TEST(Conformance, AllBackendsComputeTheSameMemoryImage)
+{
+#ifdef CNI_TSAN
+    // Under TSan the full sweep is too slow; the CI contract is three
+    // seeds (the sharded test below carries the race coverage).
+    const std::vector<std::uint64_t> seeds = {3, 7, 11};
+#else
+    std::vector<std::uint64_t> seeds;
+    for (std::uint64_t s = 1; s <= 20; ++s)
+        seeds.push_back(s);
+#endif
+    std::uint64_t sparseEvictions = 0;
+    std::uint64_t sparseRecalls = 0;
+    for (const std::uint64_t seed : seeds) {
+        const auto expected = expectedImage(seed);
+        for (const BackendCfg &cfg : kBackends) {
+            const RunResult r = runTrace(seed, cfg);
+            for (NodeId n = 0; n < kNodes; ++n) {
+                EXPECT_EQ(r.image[n], expected[n])
+                    << cfg.label << " seed " << seed << " node " << n;
+            }
+            if (cfg.dirEntries > 0) {
+                sparseEvictions += r.evictions;
+                sparseRecalls += r.recalls;
+            } else {
+                EXPECT_EQ(r.evictions, 0u) << cfg.label;
+            }
+        }
+    }
+    // The tiny sparse directory must actually have exercised the
+    // eviction/recall flows, or the sweep proved nothing about them.
+    EXPECT_GT(sparseEvictions, 0u);
+    EXPECT_GT(sparseRecalls, 0u);
+}
+
+TEST(Conformance, ShardedSparseThreeHopMatchesSerialBitForBit)
+{
+    for (const std::uint64_t seed : {3ull, 7ull, 11ull}) {
+        const auto expected = expectedImage(seed);
+        BackendCfg cfg{"dir-sparse8-3hop", "directory", 8, 3, 1};
+        const RunResult one = runTrace(seed, cfg);
+        cfg.threads = 4;
+        const RunResult four = runTrace(seed, cfg);
+        EXPECT_EQ(one.report, four.report) << "seed " << seed;
+        for (NodeId n = 0; n < kNodes; ++n) {
+            EXPECT_EQ(four.image[n], expected[n])
+                << "seed " << seed << " node " << n;
+        }
+    }
+}
+
+} // namespace
+} // namespace cni
