@@ -81,6 +81,15 @@ struct SnoopResult
     bool sharedCopy = false;    //!< some other agent retains/held a copy
     bool homeFound = false;     //!< an attached agent is home for the addr
     bool ownershipTransferred = false; //!< requester must take O state
+    /**
+     * The Upgrade lost its race (the requester's copy was gone by
+     * serialization time) and the backend turned it into a full
+     * read-to-own: the completion carries the block, so the requester
+     * installs Modified instead of retrying. Directory backends only —
+     * a bus upgrade serializes at arbitration, where the copy check is
+     * atomic.
+     */
+    bool upgradeFilled = false;
     std::uint64_t data = 0;     //!< uncached read data
 };
 
@@ -143,6 +152,8 @@ class SnoopBus
     BusKind kind() const { return kind_; }
     const BusTimingSpec &spec() const { return spec_; }
     bool busy() const { return busy_; }
+    /** Requests waiting for arbitration (model-check quiescence). */
+    std::size_t queueDepth() const { return queue_.size(); }
     const std::string &name() const { return name_; }
     EventQueue &eventQueue() { return eq_; }
 

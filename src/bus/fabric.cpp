@@ -174,6 +174,47 @@ NodeFabric::crossUpstream(BusTxn txn, SnoopBus::Done done)
         });
 }
 
+std::shared_ptr<const void>
+NodeFabric::mcSnapshot() const
+{
+    // Non-null so the checker knows the backend supports snapshots;
+    // the buses hold no state between transactions to save.
+    return std::make_shared<int>(0);
+}
+
+void
+NodeFabric::mcRestore(const std::shared_ptr<const void> &snap)
+{
+    cni_assert(snap != nullptr);
+}
+
+bool
+NodeFabric::mcQuiescent(std::string *why) const
+{
+    auto check = [why](const SnoopBus *bus) {
+        if (bus == nullptr)
+            return true;
+        if (!bus->busy() && bus->queueDepth() == 0)
+            return true;
+        if (why != nullptr)
+            *why = bus->name() + ": bus busy or requests queued";
+        return false;
+    };
+    return check(&membus_) && check(iobus_.get()) &&
+           check(cachebus_.get());
+}
+
+std::size_t
+NodeFabric::mcParkDepth() const
+{
+    std::size_t depth = membus_.queueDepth();
+    if (iobus_)
+        depth = std::max(depth, iobus_->queueDepth());
+    if (cachebus_)
+        depth = std::max(depth, cachebus_->queueDepth());
+    return depth;
+}
+
 void
 detail::registerSnoopDomain(CoherenceRegistry &r)
 {

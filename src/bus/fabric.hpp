@@ -83,6 +83,15 @@ class NodeFabric : public CoherenceDomain
 
     void mergeStats(StatSet &agg) const override;
 
+    // Model-checking seam: a snooping bus serializes atomically inside
+    // the event cascade of one transaction, so between transactions its
+    // protocol-visible state is empty — the seam reports idleness and a
+    // trivial snapshot.
+    std::shared_ptr<const void> mcSnapshot() const override;
+    void mcRestore(const std::shared_ptr<const void> &snap) override;
+    bool mcQuiescent(std::string *why) const override;
+    std::size_t mcParkDepth() const override;
+
     StatSet &stats() { return stats_; }
 
   private:

@@ -4,11 +4,46 @@
 #include <cstring>
 
 #include "bus/address_map.hpp"
+#include "mc/encode.hpp"
 #include "sim/json.hpp"
 #include "sim/logging.hpp"
 
 namespace cni
 {
+
+bool DirectoryFabric::testSkipFwdDoneHold = false;
+
+const char *
+DirectoryFabric::opName(Op op)
+{
+    switch (op) {
+      case Op::GetS:
+        return "GetS";
+      case Op::GetM:
+        return "GetM";
+      case Op::Upgrade:
+        return "Upgrade";
+      case Op::Writeback:
+        return "Writeback";
+      case Op::Fwd:
+        return "Fwd";
+      case Op::Inv:
+        return "Inv";
+      case Op::FwdAck:
+        return "FwdAck";
+      case Op::InvAck:
+        return "InvAck";
+      case Op::Grant:
+        return "Grant";
+      case Op::WbAck:
+        return "WbAck";
+      case Op::FwdData:
+        return "FwdData";
+      case Op::FwdDone:
+        return "FwdDone";
+    }
+    return "?";
+}
 
 DirectoryFabric::DirectoryFabric(EventQueue &eq, NodeId node, int numNodes,
                                  Interconnect &net, const std::string &name,
@@ -179,6 +214,7 @@ DirectoryFabric::issue(const BusTxn &txn, int slot, Done done)
     w.agent = globalAgent(node_, slot);
     w.reqId = id;
     w.addr = globalize(blk); // directories key the global physical space
+    w.data = txn.data;       // writeback payload (value-invariant plumbing)
 
     // The request's address phase occupies the node port; a writeback
     // additionally carries its block out of the node.
@@ -193,6 +229,21 @@ void
 DirectoryFabric::sendWire(NodeId dst, CohWire w, bool carriesBlock)
 {
     if (dst == node_) {
+        if (eq_.choiceMode()) {
+            // Model checking: node-local protocol hops are in-flight
+            // messages too (the loopback is its own FIFO channel), so
+            // e.g. a remote Inv can be explored overtaking a local
+            // FwdData delivery.
+            std::uint8_t buf[sizeof(CohWire)];
+            std::memcpy(buf, &w, sizeof(CohWire));
+            auto meta = std::make_shared<const ChoiceMeta>(ChoiceMeta{
+                opName(w.op),
+                std::vector<std::uint8_t>(buf, buf + sizeof(CohWire))});
+            eq_.scheduleChoice(std::int32_t(node_) * numNodes_ + node_,
+                               std::move(meta), kLocalHopCycles,
+                               [this, w] { dispatch(w, node_); });
+            return;
+        }
         eq_.scheduleIn(kLocalHopCycles,
                        [this, w] { dispatch(w, node_); });
         return;
@@ -260,6 +311,7 @@ DirectoryFabric::reconstructTxn(const CohWire &w, TxnKind kind) const
     txn.initiator = (w.flags & kFromDevice) ? Initiator::Device
                                             : Initiator::Processor;
     txn.requesterId = -1;
+    txn.data = w.data;
     return txn;
 }
 
@@ -404,6 +456,7 @@ DirectoryFabric::startRecall(Addr victim, const CohWire &next,
     t.recall = true;
     t.next = next;
     t.nextFrom = nextFrom;
+    t.probedOwner = e.owner;
 
     // The recall is a home-initiated read-exclusive: it invalidates
     // every sharer and makes a dirty owner supply its block, which
@@ -414,6 +467,7 @@ DirectoryFabric::startRecall(Addr victim, const CohWire &next,
         probe.op = Op::Inv;
         probe.kind = std::uint8_t(TxnKind::ReadExclusive);
         probe.agent = slotOf(target);
+        probe.aux = -1; // home-initiated: no requester behind it
         probe.addr = victim;
         sendWire(nodeOf(target), probe, /*carriesBlock=*/false);
     }
@@ -421,7 +475,8 @@ DirectoryFabric::startRecall(Addr victim, const CohWire &next,
 
 void
 DirectoryFabric::finishRecall(Addr victim, std::uint8_t gathered,
-                              const CohWire &next, NodeId nextFrom)
+                              std::uint64_t data, const CohWire &next,
+                              NodeId nextFrom)
 {
     DirEntry &e = dir_[victim];
     cni_assert(e.busy);
@@ -433,6 +488,15 @@ DirectoryFabric::finishRecall(Addr victim, std::uint8_t gathered,
     if (gathered & kSupplied) {
         stats_.incr("dir_recall_writebacks");
         occ = spec_.blockFromProc;
+        // The recalled value lands in memory like any writeback.
+        BusAgent *homeAgent = homeAgentFor(victim);
+        if (homeAgent != nullptr) {
+            CohWire wb{};
+            wb.op = Op::Writeback;
+            wb.addr = victim;
+            wb.data = data;
+            homeAgent->onBusTxn(reconstructTxn(wb, TxnKind::Writeback));
+        }
     }
     const Tick start = portStart(occ);
     eq_.scheduleAt(start + occ, [this, victim, next, nextFrom] {
@@ -472,6 +536,7 @@ DirectoryFabric::processHome(const CohWire &w, NodeId from)
     // effects (virtual polling). Skipped when the home agent *is* the
     // requester (a bus never snoops the requester).
     std::uint8_t homeFlags = 0;
+    std::uint64_t homeData = 0;
     BusAgent *homeAgent = homeAgentFor(blk);
     const bool requesterIsHomeAgent =
         nodeOf(w.agent) == node_ && blk < kGlobalMemBase &&
@@ -485,6 +550,7 @@ DirectoryFabric::processHome(const CohWire &w, NodeId from)
             homeFlags |= kHadCopy;
         if (r.transferOwnership)
             homeFlags |= kTransferOwner;
+        homeData = r.data; // home's value at serialization time
     }
 
     switch (w.op) {
@@ -518,11 +584,14 @@ DirectoryFabric::processHome(const CohWire &w, NodeId from)
             t.req = w;
             t.from = from;
             t.gathered = homeFlags;
+            t.homeData = homeData;
+            t.probedOwner = e.owner;
             t.threeHop = cfg_.hops == 3;
             // A 3-hop probe expects the owner's ack plus the
             // requester's FwdDone; the owner's ack cancels the latter
             // when it could not supply (see homeAck).
-            t.pendingAcks = t.threeHop ? 2 : 1;
+            t.pendingAcks =
+                t.threeHop && !testSkipFwdDoneHold ? 2 : 1;
             CohWire probe{};
             probe.op = Op::Fwd;
             probe.kind = std::uint8_t(TxnKind::ReadShared);
@@ -535,48 +604,69 @@ DirectoryFabric::processHome(const CohWire &w, NodeId from)
             sendWire(nodeOf(e.owner), probe, /*carriesBlock=*/false);
             return;
         }
-        finishGetS(blk, w, from, homeFlags);
+        finishGetS(blk, w, from, homeFlags, homeData);
         return;
       }
 
       case Op::GetM:
       case Op::Upgrade: {
+        // An Upgrade whose requester the directory no longer lists lost
+        // a race: its copy was invalidated (or recalled) while the
+        // request was in flight, so permission alone would let it write
+        // a line it does not hold — and an address-only invalidation of
+        // the current owner would silently discard the freshest data.
+        // Convert to a full GetM: probes apply ReadExclusive and the
+        // grant carries the block (kConverted tells the requester).
+        CohWire req = w;
+        bool converted = false;
+        if (w.op == Op::Upgrade && e.owner != w.agent &&
+            e.sharers.count(w.agent) == 0) {
+            converted = true;
+            req.flags |= kConverted;
+            stats_.incr("upgrade_conversions");
+        }
         std::set<int> targets = e.sharers;
         if (e.owner >= 0)
             targets.insert(e.owner);
-        targets.erase(w.agent);
+        targets.erase(req.agent);
         if (targets.empty()) {
-            finishExclusive(blk, w, from, homeFlags);
+            finishExclusive(blk, req, from, homeFlags, homeData);
             return;
         }
         HomeTxn &t = inflight_[blk];
-        t.req = w;
+        t.req = req;
         t.from = from;
         t.gathered = homeFlags;
+        t.homeData = homeData;
+        if (e.owner >= 0 && targets.count(e.owner))
+            t.probedOwner = e.owner;
         // A lone dirty owner can short-circuit a GetM's data path: with
         // 3-hop forwarding it supplies the requester directly and the
         // home collects the owner's ack plus the requester's FwdDone.
         // Multi-sharer invalidations still gather at the home — the
         // requester must not proceed before every sharer acked.
-        t.threeHop = cfg_.hops == 3 && w.op == Op::GetM &&
+        t.threeHop = cfg_.hops == 3 && req.op == Op::GetM &&
                      targets.size() == 1 && e.owner >= 0 &&
                      *targets.begin() == e.owner;
-        t.pendingAcks = int(targets.size()) + (t.threeHop ? 1 : 0);
-        // GetM probes apply ReadExclusive (a dirty owner supplies);
-        // Upgrade probes apply the address-only invalidation, exactly
-        // like the corresponding bus broadcasts.
-        const TxnKind probeKind = w.op == Op::GetM ? TxnKind::ReadExclusive
-                                                   : TxnKind::Upgrade;
+        t.pendingAcks = int(targets.size()) +
+                        (t.threeHop && !testSkipFwdDoneHold ? 1 : 0);
+        // GetM (and converted-Upgrade) probes apply ReadExclusive (a
+        // dirty owner supplies); true Upgrade probes apply the
+        // address-only invalidation, exactly like the corresponding bus
+        // broadcasts.
+        const TxnKind probeKind = req.op == Op::GetM || converted
+                                      ? TxnKind::ReadExclusive
+                                      : TxnKind::Upgrade;
         for (int target : targets) {
             stats_.incr("invs");
             CohWire probe{};
             probe.op = Op::Inv;
             probe.kind = std::uint8_t(probeKind);
-            probe.flags = (w.flags & kFromDevice) |
+            probe.flags = (req.flags & kFromDevice) |
                           (t.threeHop ? kFwd3 : std::uint8_t(0));
             probe.agent = slotOf(target);
-            probe.aux = w.agent;
-            probe.reqId = w.reqId;
+            probe.aux = req.agent;
+            probe.reqId = req.reqId;
             probe.addr = blk;
             sendWire(nodeOf(target), probe, /*carriesBlock=*/false);
         }
@@ -596,11 +686,17 @@ DirectoryFabric::homeAck(const CohWire &w, NodeId from)
     cni_assert(it != inflight_.end());
     HomeTxn &t = it->second;
     t.gathered |= w.flags & (kSupplied | kHadCopy | kTransferOwner);
+    if (w.flags & kSupplied)
+        t.data = w.data; // at most one supplier per transaction
+    if ((w.op == Op::FwdAck || w.op == Op::InvAck) &&
+        w.agent == t.probedOwner) {
+        t.ownerHadCopy = w.flags & kHadCopy;
+    }
     int acked = 1;
     if (t.threeHop && (w.op == Op::FwdAck || w.op == Op::InvAck)) {
         if (w.flags & kFwd3) {
             t.fwdDataSent = true;
-        } else {
+        } else if (!testSkipFwdDoneHold) {
             // The owner sent no FwdData (stale copy): the requester's
             // FwdDone will never come, so its expected ack is cancelled
             // here and the home falls back below.
@@ -611,10 +707,23 @@ DirectoryFabric::homeAck(const CohWire &w, NodeId from)
     t.pendingAcks -= acked;
     if (t.pendingAcks > 0)
         return;
-    const HomeTxn done = t;
+    HomeTxn done = t;
     inflight_.erase(it);
+    if (done.probedOwner >= 0 && !done.ownerHadCopy) {
+        // The recorded owner acked without a copy. If its writeback is
+        // already parked on the entry (per-channel FIFO: it left the
+        // owner before the ack, so by now it is here), absorb it so the
+        // grant below supplies the written-back value instead of stale
+        // memory. No parked writeback means the copy was dropped clean
+        // (silent E replacement) — memory is already fresh.
+        std::uint64_t wbData = 0;
+        if (absorbQueuedWriteback(w.addr, done.probedOwner, &wbData))
+            done.homeData = wbData;
+    }
     if (done.recall) {
-        finishRecall(w.addr, done.gathered, done.next, done.nextFrom);
+        finishRecall(w.addr, done.gathered,
+                     done.gathered & kSupplied ? done.data : done.homeData,
+                     done.next, done.nextFrom);
         return;
     }
     if (done.threeHop && done.fwdDataSent) {
@@ -636,10 +745,57 @@ DirectoryFabric::homeAck(const CohWire &w, NodeId from)
     // 4-hop, or a 3-hop probe that found a stale owner (writeback in
     // flight): complete home-centrically — for the stale case memory
     // supplies and the Grant carries the block, self-healing the race.
+    const std::uint64_t data =
+        done.gathered & kSupplied ? done.data : done.homeData;
     if (done.req.op == Op::GetS)
-        finishGetS(w.addr, done.req, done.from, done.gathered);
+        finishGetS(w.addr, done.req, done.from, done.gathered, data);
     else
-        finishExclusive(w.addr, done.req, done.from, done.gathered);
+        finishExclusive(w.addr, done.req, done.from, done.gathered, data);
+}
+
+bool
+DirectoryFabric::absorbQueuedWriteback(Addr blk, int ownerAgent,
+                                       std::uint64_t *dataOut)
+{
+    auto it = dir_.find(blk);
+    if (it == dir_.end())
+        return false;
+    DirEntry &e = it->second;
+    for (auto qit = e.waiting.begin(); qit != e.waiting.end(); ++qit) {
+        if (qit->first.op != Op::Writeback ||
+            qit->first.agent != ownerAgent) {
+            continue;
+        }
+        const CohWire wb = qit->first;
+        const NodeId wbFrom = qit->second;
+        e.waiting.erase(qit);
+        stats_.incr("wb_absorbed_on_fallback");
+        // Exactly the processing the parked writeback would have
+        // received at the head of the queue, minus the entry release
+        // (the transaction that triggered the absorption still holds
+        // the entry): memory takes the value over the home port, the
+        // directory forgets the writer, the WbAck goes out.
+        BusAgent *homeAgent = homeAgentFor(blk);
+        if (homeAgent != nullptr)
+            homeAgent->onBusTxn(reconstructTxn(wb, TxnKind::Writeback));
+        if (e.owner == wb.agent)
+            e.owner = -1;
+        else
+            e.sharers.erase(wb.agent);
+        const Tick occ = spec_.blockFromProc;
+        const Tick start = port_.reserve(eq_.now(), occ);
+        CohWire ack{};
+        ack.op = Op::WbAck;
+        ack.reqId = wb.reqId;
+        ack.addr = blk;
+        eq_.scheduleAt(start + occ, [this, wbFrom, ack] {
+            sendWire(wbFrom, ack, /*carriesBlock=*/false);
+        });
+        if (dataOut != nullptr)
+            *dataOut = wb.data;
+        return true;
+    }
+    return false;
 }
 
 bool
@@ -663,6 +819,16 @@ DirectoryFabric::updateGetSDirectory(Addr blk, const CohWire &req,
             e.sharers.insert(oldOwner);
         e.owner = req.agent;
         e.sharers.erase(req.agent);
+    } else if (oldOwner >= 0 && oldOwner != req.agent &&
+               (gathered & kHadCopy) && !supplied) {
+        // The probed owner had a copy but supplied nothing: it held the
+        // line Exclusive-clean and the Fwd demoted it to Shared. Memory
+        // is fresh and supplies; both parties are plain sharers now —
+        // leaving it recorded as owner would probe it as a dirty
+        // supplier later and lose.
+        e.owner = -1;
+        e.sharers.insert(oldOwner);
+        e.sharers.insert(req.agent);
     } else if (e.owner != req.agent) {
         e.sharers.insert(req.agent);
     }
@@ -674,12 +840,20 @@ DirectoryFabric::updateGetSDirectory(Addr blk, const CohWire &req,
     }
     if (e.owner >= 0 && e.owner != req.agent)
         otherSharer = true;
+    if (!otherSharer && e.owner < 0) {
+        // Sole copy, memory-supplied: the requester's cache installs
+        // Exclusive (silently upgradable to M). Record it as the owner
+        // — not a sharer — so a later transaction probes it for data
+        // instead of assuming memory is fresh.
+        e.sharers.erase(req.agent);
+        e.owner = req.agent;
+    }
     return otherSharer;
 }
 
 void
 DirectoryFabric::finishGetS(Addr blk, const CohWire &req, NodeId from,
-                            std::uint8_t gathered)
+                            std::uint8_t gathered, std::uint64_t data)
 {
     const bool supplied = gathered & kSupplied;
     const bool transfer = gathered & kTransferOwner;
@@ -694,6 +868,7 @@ DirectoryFabric::finishGetS(Addr blk, const CohWire &req, NodeId from,
     grant.op = Op::Grant;
     grant.reqId = req.reqId;
     grant.addr = blk;
+    grant.data = data;
     if (supplied)
         grant.flags |= kSupplied;
     if (otherSharer)
@@ -719,15 +894,16 @@ DirectoryFabric::finishGetS(Addr blk, const CohWire &req, NodeId from,
 
 void
 DirectoryFabric::finishExclusive(Addr blk, const CohWire &req, NodeId from,
-                                 std::uint8_t gathered)
+                                 std::uint8_t gathered, std::uint64_t data)
 {
     DirEntry &e = dir_[blk];
     const bool supplied = gathered & kSupplied;
     const bool hadCopy = gathered & kHadCopy;
+    const bool converted = req.flags & kConverted;
     e.owner = req.agent;
     e.sharers.clear();
 
-    if (req.op == Op::GetM) {
+    if (req.op == Op::GetM || converted) {
         if (supplied)
             stats_.incr("cache_supplies");
         else
@@ -738,14 +914,18 @@ DirectoryFabric::finishExclusive(Addr blk, const CohWire &req, NodeId from,
     grant.op = Op::Grant;
     grant.reqId = req.reqId;
     grant.addr = blk;
+    grant.data = data;
     if (supplied)
         grant.flags |= kSupplied;
     if (hadCopy)
         grant.flags |= kSharedCopy;
+    if (converted)
+        grant.flags |= kConverted;
 
-    // An upgrade is address-only; a GetM without a cache supplier pulls
-    // the block from the home.
-    const bool carriesBlock = req.op == Op::GetM;
+    // An upgrade is address-only — unless the home converted it to a
+    // GetM; then, like a GetM without a cache supplier, the home pulls
+    // the block from memory.
+    const bool carriesBlock = req.op == Op::GetM || converted;
     Tick occ = 0;
     if (carriesBlock && !supplied) {
         occ = blk >= kGlobalMemBase
@@ -822,7 +1002,9 @@ DirectoryFabric::peerApply(const CohWire &w, NodeId home)
 
     CohWire ack{};
     ack.op = w.op == Op::Fwd ? Op::FwdAck : Op::InvAck;
+    ack.agent = globalAgent(node_, slot); // who is acking (owner match)
     ack.addr = w.addr;
+    ack.data = r.data;
     if (r.supplied) {
         ack.flags |= kSupplied;
         stats_.incr("probe_supplies");
@@ -845,6 +1027,7 @@ DirectoryFabric::peerApply(const CohWire &w, NodeId home)
         data.op = Op::FwdData;
         data.reqId = w.reqId;
         data.addr = w.addr;
+        data.data = r.data;
         data.flags = kSupplied;
         if (w.op == Op::Fwd)
             data.flags |= kSharedCopy;
@@ -887,11 +1070,14 @@ DirectoryFabric::complete(const CohWire &w)
     res.cacheSupplied = w.flags & kSupplied;
     res.sharedCopy = w.flags & kSharedCopy;
     res.ownershipTransferred = w.flags & kTransferOwner;
+    res.upgradeFilled = w.flags & kConverted;
+    res.data = w.data;
 
     // A data-carrying grant fills the line over the requester's port.
+    // A converted upgrade's grant carries the block too.
     Tick occ = 0;
     if ((w.op == Op::Grant || w.op == Op::FwdData) &&
-        p.txn.kind != TxnKind::Upgrade) {
+        (p.txn.kind != TxnKind::Upgrade || (w.flags & kConverted))) {
         occ = p.slot == kCacheSlot ? spec_.blockToProc
                                    : spec_.blockFromProc;
     }
@@ -904,7 +1090,7 @@ DirectoryFabric::complete(const CohWire &w)
     // (address-only FwdDone) so it holds the entry — and any queued
     // probe — until the data physically landed here. Sent after `done`
     // runs, so the line is installed before the home can release.
-    const bool confirmFwd = w.op == Op::FwdData;
+    const bool confirmFwd = w.op == Op::FwdData && !testSkipFwdDoneHold;
     const Addr blk = w.addr;
     const Tick start = portStart(occ);
     eq_.scheduleAt(start + occ, [this, res, remoteMiss, confirmFwd, blk,
@@ -922,6 +1108,247 @@ DirectoryFabric::complete(const CohWire &w)
             sendWire(homeOfGlobal(blk), fin, /*carriesBlock=*/false);
         }
     });
+}
+
+// ---------------------------------------------------------------------
+// Model-checking seam
+// ---------------------------------------------------------------------
+
+/**
+ * Everything mcEncode fingerprints, copied by value. Pending::done
+ * closures capture pointers to long-lived rig objects plus plain
+ * values, so copying the std::function is a faithful save (the MC rig
+ * contains no coroutines — see EventQueue::Snapshot).
+ */
+struct DirectoryFabric::McState
+{
+    std::uint32_t nextReq;
+    std::uint64_t lruSeq;
+    std::map<std::uint32_t, Pending> pending;
+    std::map<Addr, DirEntry> dir;
+    std::map<Addr, HomeTxn> inflight;
+    std::map<std::size_t, std::vector<Addr>> setMembers;
+    std::map<std::size_t, std::deque<std::pair<CohWire, NodeId>>>
+        setWaiting;
+};
+
+std::shared_ptr<const void>
+DirectoryFabric::mcSnapshot() const
+{
+    auto s = std::make_shared<McState>();
+    s->nextReq = nextReq_;
+    s->lruSeq = lruSeq_;
+    s->pending = pending_;
+    s->dir = dir_;
+    s->inflight = inflight_;
+    s->setMembers = setMembers_;
+    s->setWaiting = setWaiting_;
+    return s;
+}
+
+void
+DirectoryFabric::mcRestore(const std::shared_ptr<const void> &snap)
+{
+    const auto *s = static_cast<const McState *>(snap.get());
+    cni_assert(s != nullptr);
+    nextReq_ = s->nextReq;
+    lruSeq_ = s->lruSeq;
+    pending_ = s->pending;
+    dir_ = s->dir;
+    inflight_ = s->inflight;
+    setMembers_ = s->setMembers;
+    setWaiting_ = s->setWaiting;
+}
+
+void
+DirectoryFabric::encodeWireCanonical(McEncoder &enc, const CohWire &w) const
+{
+    enc.u8(std::uint8_t(w.op));
+    enc.u8(w.kind);
+    enc.u8(w.flags);
+    switch (w.op) {
+      case Op::GetS:
+      case Op::GetM:
+      case Op::Upgrade:
+      case Op::Writeback:
+        enc.agent(w.agent);
+        enc.reqId(nodeOf(w.agent), w.reqId);
+        break;
+      case Op::Fwd:
+      case Op::Inv:
+        enc.u8(std::uint8_t(w.agent)); // target slot at the destination
+        enc.agent(w.aux);              // requester (-1 on recalls)
+        if (w.aux >= 0)
+            enc.reqId(nodeOf(w.aux), w.reqId);
+        break;
+      case Op::FwdAck:
+      case Op::InvAck:
+        enc.agent(w.agent); // the acking agent
+        break;
+      case Op::Grant:
+      case Op::WbAck:
+      case Op::FwdData:
+        // Completions are matched at their destination: this domain.
+        enc.reqId(node_, w.reqId);
+        break;
+      case Op::FwdDone:
+        break;
+    }
+    if (enc.knownBlock(w.addr))
+        enc.block(w.addr);
+    else
+        enc.u64(w.addr); // NI-space address: node-local, never relabeled
+    enc.token(w.data);
+}
+
+void
+DirectoryFabric::mcEncodeWire(McEncoder &enc, const std::uint8_t *blob,
+                              std::size_t len) const
+{
+    cni_assert(len >= sizeof(CohWire));
+    CohWire w;
+    std::memcpy(&w, blob, sizeof(CohWire));
+    encodeWireCanonical(enc, w);
+}
+
+void
+DirectoryFabric::mcEncode(McEncoder &enc) const
+{
+    // Directory entries in canonical block order.
+    enc.tag('D');
+    std::vector<std::pair<std::uint32_t, Addr>> order;
+    for (const auto &kv : dir_)
+        order.emplace_back(enc.blockCode(kv.first), kv.first);
+    std::sort(order.begin(), order.end());
+    enc.u32(std::uint32_t(order.size()));
+    for (const auto &[code, addr] : order) {
+        const DirEntry &e = dir_.at(addr);
+        enc.u32(code);
+        enc.agent(e.owner);
+        std::vector<int> sh(e.sharers.begin(), e.sharers.end());
+        std::sort(sh.begin(), sh.end(), [&enc](int a, int b) {
+            return enc.agentKey(a) < enc.agentKey(b);
+        });
+        enc.u8(std::uint8_t(sh.size()));
+        for (int s : sh)
+            enc.agent(s);
+        enc.u8(e.busy);
+        enc.u8(e.transientWb);
+        if (isSparse() && addr >= kGlobalMemBase) {
+            // LRU enters as a recency rank within the set — victim
+            // choice depends only on the order, never the raw stamps.
+            int rank = 0;
+            auto mit = setMembers_.find(setOf(addr));
+            cni_assert(mit != setMembers_.end());
+            for (Addr other : mit->second) {
+                if (other != addr && dir_.at(other).lru < e.lru)
+                    ++rank;
+            }
+            enc.u8(std::uint8_t(rank));
+        }
+        enc.u8(std::uint8_t(e.waiting.size()));
+        for (const auto &[qw, qfrom] : e.waiting) {
+            encodeWireCanonical(enc, qw);
+            enc.node(qfrom);
+        }
+    }
+
+    // Home transactions in flight.
+    enc.tag('I');
+    order.clear();
+    for (const auto &kv : inflight_)
+        order.emplace_back(enc.blockCode(kv.first), kv.first);
+    std::sort(order.begin(), order.end());
+    enc.u32(std::uint32_t(order.size()));
+    for (const auto &[code, addr] : order) {
+        const HomeTxn &t = inflight_.at(addr);
+        enc.u32(code);
+        enc.u8(t.recall);
+        if (!t.recall) {
+            encodeWireCanonical(enc, t.req);
+            enc.node(t.from);
+        }
+        enc.u8(std::uint8_t(t.pendingAcks));
+        enc.u8(t.gathered);
+        enc.u8(t.threeHop);
+        enc.u8(t.fwdDataSent);
+        enc.token(t.data);
+        enc.token(t.homeData);
+        enc.agent(t.probedOwner);
+        enc.u8(t.ownerHadCopy);
+        enc.u8(t.nextFrom >= 0);
+        if (t.nextFrom >= 0) {
+            encodeWireCanonical(enc, t.next);
+            enc.node(t.nextFrom);
+        }
+    }
+
+    // Requester-side transactions awaiting completion (issue order —
+    // deterministic and permutation-independent within this node).
+    enc.tag('P');
+    enc.u32(std::uint32_t(pending_.size()));
+    for (const auto &[id, p] : pending_) {
+        enc.reqId(node_, id);
+        enc.u8(std::uint8_t(p.txn.kind));
+        const Addr g = globalize(blockAlign(p.txn.addr));
+        if (enc.knownBlock(g))
+            enc.block(g);
+        else
+            enc.u64(g);
+        enc.u8(std::uint8_t(p.slot));
+        enc.token(p.txn.data);
+    }
+
+    // Allocations parked on full sparse sets.
+    enc.tag('W');
+    enc.u32(std::uint32_t(setWaiting_.size()));
+    for (const auto &[set, q] : setWaiting_) {
+        enc.u32(std::uint32_t(set));
+        enc.u8(std::uint8_t(q.size()));
+        for (const auto &[qw, qfrom] : q) {
+            encodeWireCanonical(enc, qw);
+            enc.node(qfrom);
+        }
+    }
+}
+
+bool
+DirectoryFabric::mcQuiescent(std::string *why) const
+{
+    auto fail = [this, why](const char *what) {
+        if (why != nullptr)
+            *why = name_ + ": " + what;
+        return false;
+    };
+    if (!pending_.empty())
+        return fail("requester transaction still pending");
+    if (!inflight_.empty())
+        return fail("home transaction still in flight");
+    for (const auto &[addr, e] : dir_) {
+        (void)addr;
+        if (e.busy)
+            return fail("busy directory entry");
+        if (!e.waiting.empty())
+            return fail("requests queued on an idle entry");
+    }
+    if (!setWaiting_.empty())
+        return fail("allocations parked on a sparse set");
+    return true;
+}
+
+std::size_t
+DirectoryFabric::mcParkDepth() const
+{
+    std::size_t depth = 0;
+    for (const auto &[addr, e] : dir_) {
+        (void)addr;
+        depth = std::max(depth, e.waiting.size());
+    }
+    for (const auto &[set, q] : setWaiting_) {
+        (void)set;
+        depth = std::max(depth, q.size());
+    }
+    return depth;
 }
 
 // ---------------------------------------------------------------------

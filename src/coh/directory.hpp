@@ -121,6 +121,24 @@ class DirectoryFabric final : public CoherenceDomain, public NiPort
     /** Blocks this node's directory currently tracks (test/debug). */
     std::size_t trackedBlocks() const { return dir_.size(); }
 
+    // Model-checking seam (src/mc) ------------------------------------------
+    std::shared_ptr<const void> mcSnapshot() const override;
+    void mcRestore(const std::shared_ptr<const void> &snap) override;
+    void mcEncode(McEncoder &enc) const override;
+    void mcEncodeWire(McEncoder &enc, const std::uint8_t *blob,
+                      std::size_t len) const override;
+    bool mcQuiescent(std::string *why) const override;
+    std::size_t mcParkDepth() const override;
+
+    /**
+     * Test-only fault injection for cnimc's self-check: when set, the
+     * home releases a 3-hop transaction on the owner's ack alone
+     * instead of also holding for the requester's FwdDone — the exact
+     * race window the FwdDone hold exists to close. The checker must
+     * find the resulting stale-copy violation (tests/mc).
+     */
+    static bool testSkipFwdDoneHold;
+
   private:
     // Two caching agents per node take part in the protocol.
     static constexpr int kCacheSlot = 0; //!< processor cache
@@ -160,6 +178,15 @@ class DirectoryFabric final : public CoherenceDomain, public NiPort
     static constexpr std::uint8_t kFromDevice = 1 << 4;
     static constexpr std::uint8_t kFwd3 = 1 << 5; //!< probe: supply the
                                                   //!< requester directly
+    /**
+     * An Upgrade the home converted to a full GetM: by the time the
+     * request serialized, the requester's copy had been invalidated (a
+     * racing GetM/Upgrade/recall won), so permission alone is useless —
+     * the grant must carry the block. The flag rides the request
+     * through the probe fan-out and back on the Grant so the requester
+     * knows to install the data.
+     */
+    static constexpr std::uint8_t kConverted = 1 << 6;
 
     /** The protocol message, memcpy'd into the NetMsg payload. */
     struct CohWire
@@ -171,6 +198,12 @@ class DirectoryFabric final : public CoherenceDomain, public NiPort
         std::int32_t aux;   //!< kFwd3 probes: the requester's global agent
         std::uint32_t reqId; //!< requester-side completion match
         std::uint64_t addr;
+        /**
+         * Block value riding the message (writeback payload, supplier
+         * ack, Grant/FwdData fill). Pure verification plumbing for the
+         * data-value invariant — the timing model never reads it.
+         */
+        std::uint64_t data;
     };
 
     /** A requester-side transaction awaiting its Grant/WbAck/FwdData. */
@@ -195,6 +228,18 @@ class DirectoryFabric final : public CoherenceDomain, public NiPort
         bool recall = false;   //!< eviction recall; `next` retries after
         CohWire next{};        //!< the allocation that forced the recall
         NodeId nextFrom = -1;
+        std::uint64_t data = 0;     //!< value a probed peer supplied
+        std::uint64_t homeData = 0; //!< home agent's value at serialize
+        /**
+         * Global agent of the recorded owner this transaction probed
+         * (-1: none). If its ack reports no copy, a writeback carrying
+         * the only fresh value may have been in flight — per-channel
+         * FIFO puts it ahead of the ack, so by ack time it is parked in
+         * the entry's waiting queue and the home absorbs it before
+         * supplying from memory (absorbQueuedWriteback).
+         */
+        int probedOwner = -1;
+        bool ownerHadCopy = false; //!< that owner's ack carried kHadCopy
     };
 
     /** Directory entry for one tracked block at its home. */
@@ -246,9 +291,20 @@ class DirectoryFabric final : public CoherenceDomain, public NiPort
     void processHome(const CohWire &w, NodeId from);
     void homeAck(const CohWire &w, NodeId from);
     void finishGetS(Addr blk, const CohWire &req, NodeId from,
-                    std::uint8_t gathered);
+                    std::uint8_t gathered, std::uint64_t data);
     void finishExclusive(Addr blk, const CohWire &req, NodeId from,
-                         std::uint8_t gathered);
+                         std::uint8_t gathered, std::uint64_t data);
+    /**
+     * A probed owner acked without a copy: if its in-flight writeback
+     * is already parked in `blk`'s waiting queue (per-channel FIFO
+     * guarantees it beat the ack here), absorb it now — memory takes
+     * the value, the WbAck goes out, the park entry is consumed — and
+     * report the fresh value through `dataOut`. Returns false when no
+     * writeback is parked: the owner's copy was dropped clean (silent
+     * E replacement / lost upgrade race), memory is already fresh.
+     */
+    bool absorbQueuedWriteback(Addr blk, int ownerAgent,
+                               std::uint64_t *dataOut);
     /** Apply the MOESI GetS transitions; returns "another copy exists". */
     bool updateGetSDirectory(Addr blk, const CohWire &req,
                              std::uint8_t gathered);
@@ -269,7 +325,8 @@ class DirectoryFabric final : public CoherenceDomain, public NiPort
     /** Evict `victim`; `nextFrom` < 0 = overflow trim, no retry. */
     void startRecall(Addr victim, const CohWire &next, NodeId nextFrom);
     void finishRecall(Addr victim, std::uint8_t gathered,
-                      const CohWire &next, NodeId nextFrom);
+                      std::uint64_t data, const CohWire &next,
+                      NodeId nextFrom);
     void eraseMember(std::size_t set, Addr blk);
 
     // Peer side (probe application).
@@ -279,6 +336,12 @@ class DirectoryFabric final : public CoherenceDomain, public NiPort
     void complete(const CohWire &w);
 
     BusTxn reconstructTxn(const CohWire &w, TxnKind kind) const;
+
+    static const char *opName(Op op);
+    struct McState; //!< snapshot payload (mcSnapshot/mcRestore)
+    /** Canonical fingerprint of one protocol message (`this` = where
+     *  the message lives: completions are matched at their dst). */
+    void encodeWireCanonical(McEncoder &enc, const CohWire &w) const;
 
     EventQueue &eq_;
     NodeId node_;

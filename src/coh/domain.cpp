@@ -1,6 +1,7 @@
 #include "coh/domain.hpp"
 
 #include "bus/address_map.hpp"
+#include "mc/encode.hpp"
 #include "sim/json.hpp"
 #include "sim/logging.hpp"
 
@@ -31,6 +32,48 @@ bool
 CoherenceDomain::isNiAddr(Addr a)
 {
     return isDeviceRegister(a) || isDeviceMemory(a);
+}
+
+// --- model-checking seam defaults (stateless domain) ------------------------
+
+std::shared_ptr<const void>
+CoherenceDomain::mcSnapshot() const
+{
+    return nullptr;
+}
+
+void
+CoherenceDomain::mcRestore(const std::shared_ptr<const void> &snap)
+{
+    cni_assert(snap == nullptr);
+}
+
+void
+CoherenceDomain::mcEncode(McEncoder &enc) const
+{
+    (void)enc;
+}
+
+void
+CoherenceDomain::mcEncodeWire(McEncoder &enc, const std::uint8_t *blob,
+                              std::size_t len) const
+{
+    // No protocol-specific structure known: fold the raw bytes.
+    for (std::size_t i = 0; i < len; ++i)
+        enc.u8(blob[i]);
+}
+
+bool
+CoherenceDomain::mcQuiescent(std::string *why) const
+{
+    (void)why;
+    return true;
+}
+
+std::size_t
+CoherenceDomain::mcParkDepth() const
+{
+    return 0;
 }
 
 // --- registry ---------------------------------------------------------------

@@ -40,6 +40,7 @@ namespace cni
 
 class Interconnect;
 class JsonWriter;
+class McEncoder;
 
 /** Where the node's NI is attached (the paper's three placements). */
 enum class NiPlacement
@@ -155,6 +156,43 @@ class CoherenceDomain
 
     /** Is this address owned by the NI (register or device-homed space)? */
     static bool isNiAddr(Addr a);
+
+    // Model-checking seam (src/mc) ------------------------------------------
+    //
+    // cnimc explores the real backends, so each one exposes its
+    // protocol-visible state behind four hooks: an opaque copy for
+    // backtracking (snapshot/restore), a canonical byte encoding for
+    // state-hash compression (mcEncode / mcEncodeWire for in-flight
+    // message blobs), and the quiescence predicates the no-stuck-state
+    // invariant checks. The defaults describe a stateless domain — a
+    // backend with protocol state overrides all of them together.
+
+    /** Copy of all protocol-visible state (null = nothing to save). */
+    virtual std::shared_ptr<const void> mcSnapshot() const;
+
+    /** Restore a snapshot taken from this same instance. */
+    virtual void mcRestore(const std::shared_ptr<const void> &snap);
+
+    /**
+     * Append this domain's protocol state to a canonical fingerprint.
+     * Ticks, stats, and port accounting are excluded: two states that
+     * can only diverge in timing must collide.
+     */
+    virtual void mcEncode(McEncoder &enc) const;
+
+    /** Canonically re-encode an in-flight message blob (ChoiceMeta). */
+    virtual void mcEncodeWire(McEncoder &enc, const std::uint8_t *blob,
+                              std::size_t len) const;
+
+    /**
+     * With no messages in flight and no requester transaction pending,
+     * is the domain fully idle (no busy entries, no parked requests)?
+     * On false, `why` (if non-null) names the stuck structure.
+     */
+    virtual bool mcQuiescent(std::string *why) const;
+
+    /** Deepest park/waiting queue right now (bounded-park invariant). */
+    virtual std::size_t mcParkDepth() const;
 
   protected:
     NiPlacement placement_;

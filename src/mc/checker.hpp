@@ -1,0 +1,287 @@
+/**
+ * @file
+ * cnimc — exhaustive model checking of the *real* coherence backends.
+ *
+ * The checker is not a re-model of the protocol: it instantiates the
+ * production CoherenceDomain backends (snoop / directory, via the
+ * CoherenceRegistry) over a real routed Interconnect and a real
+ * EventQueue, and explores every reachable protocol state of a tiny
+ * machine (2-3 nodes, 1-3 blocks) by driving the choice-point seam in
+ * sim/choice.hpp:
+ *
+ *  - A *stable point* is a state whose event queue holds only tagged
+ *    (in-flight protocol message) events: every deterministic
+ *    continuation has been drained in canonical (tick, seq) order.
+ *  - From a stable point the enabled transitions are (a) deliver the
+ *    FIFO head of any message channel, and (b) have any idle mirror
+ *    agent issue any enabled memory action. Applying a transition and
+ *    re-draining yields the next stable point, deterministically.
+ *  - Visited states are fingerprinted through McEncoder (ticks/stats
+ *    excluded, values and request ids renamed, node labels permuted
+ *    over every valid symmetry), so exploration terminates.
+ *
+ * The mirror agents replay mem/cache.cpp's exact MOESI decisions and
+ * carry an explicit value token per line, which makes four invariant
+ * families checkable at every stable point:
+ *
+ *  - SWMR: at most one M/E/O copy, and M/E exclude all other copies;
+ *  - data value: every valid copy equals the last committed write, and
+ *    every fill observes it;
+ *  - exactly-once: each issued transaction completes exactly once;
+ *  - liveness shape: no stuck state at event-queue quiescence (every
+ *    domain mcQuiescent, no agent left outstanding) and park/recall
+ *    queues stay bounded.
+ *
+ * Exploration is depth-first with snapshot-stack backtracking (cheap:
+ * memory is O(path)); when a violation is found the checker re-runs
+ * breadth-first from the root, which yields a guaranteed-minimal
+ * counterexample trace. Traces replay through the same rig (replay()),
+ * the DirRig-style scripted harness the regression tests embed.
+ */
+
+#ifndef CNI_MC_CHECKER_HPP
+#define CNI_MC_CHECKER_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coh/domain.hpp"
+#include "net/network.hpp"
+#include "sim/choice.hpp"
+#include "sim/event_queue.hpp"
+
+namespace cni
+{
+
+class McEncoder;
+
+/** What to check and how hard to try. */
+struct McConfig
+{
+    std::string backend = "directory"; //!< CoherenceRegistry name
+    DirParams dir{};                   //!< directory geometry
+    int nodes = 2;
+    /**
+     * Coherent blocks in play. Block j belongs to node j % nodes (only
+     * that node's processor-cache and NI mirror agents act on it — the
+     * machine's address space is per-node private) and is always
+     * remote-homed on the directory backend. Three blocks on a 2-node
+     * machine put two same-home, same-set blocks in play — the sparse
+     * recall/park paths.
+     */
+    int blocks = 1;
+    std::size_t maxStates = 2'000'000; //!< visited-state cap (safety)
+    std::size_t maxDepth = 100'000;    //!< DFS path-length cap (safety)
+    /** Park/waiting-depth bound; 0 = auto (2 * nodes). */
+    std::size_t maxPark = 0;
+    /**
+     * Arm DirectoryFabric::testSkipFwdDoneHold for the run — the
+     * checker's own self-check: it must find the stale-FwdData window
+     * the hold exists to close.
+     */
+    bool seedBug = false;
+};
+
+/** One exploration step — serializable, replayable. */
+struct McStep
+{
+    bool deliver = false; //!< message delivery vs agent action
+    // deliver:
+    std::int32_t channel = -1; //!< src * nodes + dst
+    std::string label;         //!< message op (trace cosmetics)
+    // action:
+    int node = -1;
+    int slot = -1;  //!< 0 = processor cache, 1 = NI device
+    int block = -1; //!< block index (McConfig::blocks)
+    int act = 0;    //!< McChecker::Act
+};
+
+/** Outcome of a check() or replay() run. */
+struct McResult
+{
+    std::size_t visited = 0;     //!< distinct canonical states
+    std::size_t transitions = 0; //!< transitions executed (incl. revisits)
+    std::size_t terminals = 0;   //!< fully quiescent endpoint states
+    std::size_t maxParkSeen = 0; //!< deepest park/waiting queue observed
+    std::size_t symmetries = 1;  //!< valid node permutations used
+    bool truncated = false;      //!< hit maxStates/maxDepth — not exhaustive
+    std::vector<std::string> violations; //!< empty = all invariants held
+    std::vector<McStep> trace; //!< minimal path to the first violation
+
+    bool clean() const { return violations.empty(); }
+};
+
+class McChecker
+{
+  public:
+    /** Memory actions a mirror agent can take on one of its blocks. */
+    enum Act
+    {
+        kRead = 0,  //!< load (GetS) — from Invalid
+        kWrite,     //!< store — GetM from I, Upgrade from S/O, silent E/M
+        kDrop,      //!< silent clean eviction — from S/E
+        kWriteback, //!< dirty eviction (WB + data) — from O/M
+    };
+
+    explicit McChecker(const McConfig &cfg);
+    ~McChecker();
+
+    McChecker(const McChecker &) = delete;
+    McChecker &operator=(const McChecker &) = delete;
+
+    /**
+     * Exhaust the state space (DFS). On a violation, re-explore
+     * breadth-first to return a minimal counterexample trace.
+     */
+    McResult check();
+
+    /**
+     * Apply a recorded trace step by step from the initial state and
+     * report any violations it reproduces — the regression-test replay
+     * path.
+     */
+    McResult replay(const std::vector<McStep> &trace);
+
+    /** Summary (and counterexample, if any) as a JSON object. */
+    static void writeJson(const McConfig &cfg, const McResult &res,
+                          std::ostream &os);
+
+  private:
+    struct CacheMirror;
+    struct MemMirror;
+    friend struct CacheMirror;
+    friend struct MemMirror;
+
+    static constexpr int kCacheSlot = 0;
+    static constexpr int kNiSlot = 1;
+    static constexpr int kSlots = 2; //!< driven mirror agents per node
+
+    /** MOESI of one mirrored line (mirrors mem/cache.hpp's Moesi). */
+    enum class St : std::uint8_t
+    {
+        I,
+        S,
+        E,
+        O,
+        M
+    };
+
+    struct Line
+    {
+        St st = St::I;
+        std::uint64_t val = 0; //!< value token this copy holds
+    };
+
+    /** Protocol-visible model state of one driven mirror agent. */
+    struct AgentModel
+    {
+        std::vector<Line> lines; //!< per configured block
+        bool outstanding = false;
+        int actBlock = -1;
+        int actKind = 0;            //!< Act
+        TxnKind actTxn = TxnKind::ReadShared;
+        std::uint64_t wrVal = 0; //!< token a pending write will commit
+    };
+
+    /** One configured coherent block. */
+    struct BlockCfg
+    {
+        Addr local = 0;     //!< node-local address (issue/probe space)
+        Addr globalKey = 0; //!< directory's global key (fingerprints)
+        NodeId req = 0;     //!< owning node (its agents drive it)
+        NodeId home = 0;    //!< serialization point
+        int ord = 0;        //!< per-node ordinal (symmetry-invariant)
+    };
+
+    /** Everything restore() needs — one backtracking point. */
+    struct RigSnap
+    {
+        EventQueue::Snapshot eq;
+        std::vector<std::shared_ptr<const void>> dom;
+        std::vector<AgentModel> agents;
+        std::vector<std::uint64_t> mem;
+        std::vector<std::uint64_t> current;
+        std::uint64_t nextToken = 0;
+    };
+
+    /**
+     * The planned scheduler: drains deterministic continuations in
+     * (tick, seq) order; delivers exactly the tagged channel the
+     * explorer asked for.
+     */
+    struct DriveChooser final : ChoiceScheduler
+    {
+        std::int32_t want = -1; //!< channel to deliver next; -1 = drain
+        std::size_t choose(const std::vector<ChoiceOption> &options)
+            override;
+    };
+
+    // Rig construction + bookkeeping.
+    void buildBlocks();
+    void buildSymmetries();
+    AgentModel &agentAt(NodeId n, int slot)
+    {
+        return agents_[std::size_t(n) * kSlots + std::size_t(slot)];
+    }
+    int blockByLocal(Addr a) const;
+    std::uint64_t freshToken() { return nextToken_++; }
+    void fail(const std::string &what);
+
+    // The stable-point step machine.
+    void drainUntagged();
+    std::vector<McStep> enumerate() const;
+    bool canApply(const McStep &s) const;
+    void apply(const McStep &s);
+    void applyAction(const McStep &s);
+    void onComplete(NodeId n, int slot, int block, int kind,
+                    std::uint64_t wrVal, const SnoopResult &r);
+    void checkInvariants();
+
+    // State capture.
+    RigSnap snap() const;
+    void restore(const RigSnap &s);
+    std::uint64_t fingerprint() const;
+    void encodeState(McEncoder &enc, const std::vector<int> &perm,
+                     const std::vector<int> &inv) const;
+
+    // Exploration.
+    bool explore(bool breadthFirst, McResult &res);
+
+    McConfig cfg_;
+    std::size_t maxPark_;
+    EventQueue eq_;
+    NetParams netParams_;
+    std::unique_ptr<Interconnect> net_;
+    std::vector<std::unique_ptr<CoherenceDomain>> dom_;
+    std::vector<std::unique_ptr<CacheMirror>> mirrors_;
+    std::vector<std::unique_ptr<MemMirror>> mems_;
+    std::vector<int> requesterIds_; //!< per (node, slot) attach id
+    DriveChooser chooser_;
+    bool armedSeedBug_ = false;
+
+    // Model state (snapshotted).
+    std::vector<AgentModel> agents_;
+    std::vector<std::uint64_t> memVal_;  //!< per block: memory's value
+    std::vector<std::uint64_t> current_; //!< per block: last committed
+    std::uint64_t nextToken_ = 1;
+
+    // Block plan + symmetry group.
+    std::vector<BlockCfg> blocks_;
+    std::map<Addr, int> byLocal_;
+    std::vector<std::vector<int>> perms_;    //!< valid node relabelings
+    std::vector<std::vector<int>> permInv_;  //!< their inverses
+    std::vector<std::map<Addr, std::uint32_t>> permCodes_;
+
+    // Per-transition violation collection.
+    std::vector<std::string> violations_;
+    std::size_t maxParkSeen_ = 0;
+    RigSnap root_;
+};
+
+} // namespace cni
+
+#endif // CNI_MC_CHECKER_HPP

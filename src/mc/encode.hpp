@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Canonical state encoding for the model checker (cnimc).
+ *
+ * Exhaustive exploration only terminates if equivalent states collide,
+ * so the fingerprint must abstract everything that grows without bound
+ * or varies with irrelevant detail:
+ *
+ *  - Ticks, stats, and port/occupancy accounting are never encoded —
+ *    two states differing only in timing are the same protocol state.
+ *  - Data values and request ids are renamed to dense small integers in
+ *    order of first appearance during the (deterministic) encode walk.
+ *    The protocol never computes on a value or an id, only compares
+ *    and forwards them, so the renaming is a bisimulation.
+ *  - Node identities are relabeled through a permutation. The rig
+ *    encodes the state once per *valid* symmetry permutation (one that
+ *    preserves each block's home and the per-node block assignment) and
+ *    keeps the lexicographically smallest image — node-permutation
+ *    symmetry reduction.
+ *
+ * The encoder is rebuilt per encoding pass (the token/id tables are
+ * first-appearance-ordered, so they cannot be reused across passes).
+ */
+
+#ifndef CNI_MC_ENCODE_HPP
+#define CNI_MC_ENCODE_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hpp"
+#include "sim/types.hpp"
+
+namespace cni
+{
+
+class McEncoder
+{
+  public:
+    /**
+     * `nodePerm[n]` is the label node `n` gets in this image;
+     * `blockCodes` maps every protocol-global block address to its
+     * permuted dense code (the rig derives it from the same
+     * permutation); `agentsPerNode` is the backend's agent-slot stride
+     * (DirectoryFabric::kAgentsPerNode).
+     */
+    McEncoder(std::vector<int> nodePerm,
+              std::map<Addr, std::uint32_t> blockCodes,
+              int agentsPerNode = 2)
+        : perm_(std::move(nodePerm)), blocks_(std::move(blockCodes)),
+          agentsPerNode_(agentsPerNode)
+    {
+        bytes_.reserve(256);
+    }
+
+    // Raw emission -------------------------------------------------------
+
+    void u8(std::uint8_t v) { bytes_.push_back(v); }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            u8(std::uint8_t(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            u8(std::uint8_t(v >> (8 * i)));
+    }
+
+    /** Structure marker — keeps adjacent variable-length runs apart. */
+    void tag(char c) { u8(std::uint8_t(c)); }
+
+    // Canonicalizing emission --------------------------------------------
+
+    /** A node id, relabeled through the permutation. */
+    void
+    node(int n)
+    {
+        cni_assert(n >= 0 && std::size_t(n) < perm_.size());
+        u8(std::uint8_t(perm_[std::size_t(n)]));
+    }
+
+    /** A global agent id (node * stride + slot); -1 allowed ("none"). */
+    void
+    agent(int g)
+    {
+        if (g < 0) {
+            u8(0xFF);
+            return;
+        }
+        const int n = g / agentsPerNode_;
+        const int slot = g % agentsPerNode_;
+        cni_assert(n >= 0 && std::size_t(n) < perm_.size());
+        u8(std::uint8_t(perm_[std::size_t(n)] * agentsPerNode_ + slot));
+    }
+
+    /** Agent id sort key under this image (for order-free sets). */
+    int
+    agentKey(int g) const
+    {
+        if (g < 0)
+            return -1;
+        const int n = g / agentsPerNode_;
+        return perm_[std::size_t(n)] * agentsPerNode_ + g % agentsPerNode_;
+    }
+
+    bool knownBlock(Addr g) const { return blocks_.count(g) != 0; }
+
+    std::uint32_t
+    blockCode(Addr g) const
+    {
+        auto it = blocks_.find(g);
+        cni_assert(it != blocks_.end());
+        return it->second;
+    }
+
+    /** A block address, as its permuted dense code. */
+    void block(Addr g) { u32(blockCode(g)); }
+
+    /** A data value, renamed to a dense first-appearance id (0 stays 0). */
+    void
+    token(std::uint64_t raw)
+    {
+        if (raw == 0) {
+            u32(0);
+            return;
+        }
+        auto it = tokens_.find(raw);
+        if (it == tokens_.end())
+            it = tokens_.emplace(raw, std::uint32_t(tokens_.size()) + 1)
+                     .first;
+        u32(it->second);
+    }
+
+    /**
+     * A request id, renamed like a token. Raw ids are only unique per
+     * requester node (each keeps its own counter), so the rename table
+     * is keyed by the (relabeled) node too — two nodes' coincidentally
+     * equal raw ids stay distinct requests in the fingerprint.
+     */
+    void
+    reqId(int node, std::uint32_t raw)
+    {
+        cni_assert(node >= 0 && std::size_t(node) < perm_.size());
+        const std::uint64_t key =
+            (std::uint64_t(perm_[std::size_t(node)]) << 32) | raw;
+        auto it = reqIds_.find(key);
+        if (it == reqIds_.end())
+            it = reqIds_.emplace(key, std::uint32_t(reqIds_.size()) + 1)
+                     .first;
+        u32(it->second);
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+
+    /** FNV-1a 64 over the canonical bytes. */
+    std::uint64_t
+    hash() const
+    {
+        std::uint64_t h = 1469598103934665603ULL;
+        for (std::uint8_t b : bytes_) {
+            h ^= b;
+            h *= 1099511628211ULL;
+        }
+        return h;
+    }
+
+  private:
+    std::vector<int> perm_;
+    std::map<Addr, std::uint32_t> blocks_;
+    int agentsPerNode_;
+    std::vector<std::uint8_t> bytes_;
+    std::map<std::uint64_t, std::uint32_t> tokens_;
+    std::map<std::uint64_t, std::uint32_t> reqIds_;
+};
+
+} // namespace cni
+
+#endif // CNI_MC_ENCODE_HPP

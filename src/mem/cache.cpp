@@ -95,9 +95,19 @@ Cache::store(Addr a)
         if (hit(ln, a)) {
             // Shared or Owned: address-only upgrade.
             stats_.incr("store_upgrades");
-            co_await issueTxn(TxnKind::Upgrade, a);
+            SnoopResult res = co_await issueTxn(TxnKind::Upgrade, a);
             Line &ln2 = lineFor(a);
             if (hit(ln2, a)) {
+                ln2.state = Moesi::Modified;
+                co_return;
+            }
+            if (res.upgradeFilled) {
+                // Invalidated while the upgrade was in flight, but the
+                // home converted it to a read-to-own and the completion
+                // carried the block: install it, no retry round trip.
+                stats_.incr("store_upgrade_fills");
+                ln2.tag = blockAlign(a);
+                ln2.tagValid = true;
                 ln2.state = Moesi::Modified;
                 co_return;
             }
@@ -129,9 +139,16 @@ Cache::fetchBlock(Addr a, bool exclusive)
     }
     if (exclusive && hit(ln, a)) {
         stats_.incr("store_upgrades");
-        co_await issueTxn(TxnKind::Upgrade, a);
+        SnoopResult res = co_await issueTxn(TxnKind::Upgrade, a);
         Line &ln2 = lineFor(a);
         if (hit(ln2, a)) {
+            ln2.state = Moesi::Modified;
+            co_return;
+        }
+        if (res.upgradeFilled) {
+            stats_.incr("store_upgrade_fills");
+            ln2.tag = blockAlign(a);
+            ln2.tagValid = true;
             ln2.state = Moesi::Modified;
             co_return;
         }

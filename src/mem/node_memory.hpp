@@ -16,7 +16,7 @@
 
 #include <array>
 #include <cstring>
-#include <unordered_map>
+#include <map>
 
 #include "sim/logging.hpp"
 #include "sim/types.hpp"
@@ -102,7 +102,10 @@ class NodeMemory
         return it->second;
     }
 
-    std::unordered_map<Addr, Block> blocks_;
+    // Ordered map, per the determinism lint: this store is only ever
+    // point-looked-up today, but an unordered container is one innocent
+    // for-loop away from hash-order-dependent behavior.
+    std::map<Addr, Block> blocks_;
 };
 
 } // namespace cni

@@ -107,6 +107,25 @@ Interconnect::inject(NetMsg msg)
             return;
         }
         const Tick delay = routeDelay(msg, eq_.now());
+        if (eq_.choiceMode()) {
+            // Model checking: the in-flight message becomes a choice
+            // point. The channel is the (src, dst) pair — every model's
+            // routeDelay is arrival-monotonic per pair (links and ports
+            // are reserved in injection order), so per-channel FIFO
+            // delivery is exactly the physical guarantee.
+            const std::int32_t ch =
+                std::int32_t(msg.src) * numNodes_ + msg.dst;
+            auto meta = std::make_shared<const ChoiceMeta>(ChoiceMeta{
+                "coh",
+                std::vector<std::uint8_t>(
+                    msg.payload.data(),
+                    msg.payload.data() + msg.payload.size())});
+            eq_.scheduleChoice(ch, std::move(meta), delay,
+                               [this, m = std::move(msg)]() mutable {
+                                   deliverArrival(std::move(m));
+                               });
+            return;
+        }
         eq_.scheduleIn(delay, [this, m = std::move(msg)]() mutable {
             deliverArrival(std::move(m));
         });

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The choice-point scheduler seam for exhaustive model checking.
+ *
+ * The serial kernel executes events in a single canonical order:
+ * (tick, scheduling sequence), FIFO at ties. That order is one legal
+ * interleaving of the machine's concurrent traffic — the one the
+ * timing model happens to produce. A model checker needs the rest of
+ * them: every order in which the in-flight coherence messages could
+ * land that the real machine could also produce.
+ *
+ * The seam: producers of genuinely concurrent events (the coherence
+ * lane of the Interconnect, the DirectoryFabric's node-local loopback)
+ * tag them with a *channel* — a FIFO class matching the physical
+ * in-order guarantee of a (source, destination) pair. Everything else
+ * stays untagged. When a ChoiceScheduler is installed on the
+ * EventQueue, step() stops consulting the timing heap and instead
+ * builds the set of *ready candidates*:
+ *
+ *   - every untagged event (deterministic local continuations:
+ *     port reservations, bus grants, probe handling), and
+ *   - the lowest-sequence event of every tagged channel (delivering
+ *     out of sequence within a channel would violate the fabric's
+ *     per-pair FIFO, which the protocol is entitled to rely on);
+ *
+ * and asks the scheduler to pick. CanonicalChoice picks the global
+ * (tick, seq) minimum — exactly the heap order, so installing it is
+ * behavior-preserving (proved by tests/mc). A model checker's
+ * scheduler instead drains untagged events first (they commute: each
+ * cascade stays on one node and serializes on that node's port in
+ * reservation order) and then enumerates the tagged heads, exploring
+ * every delivery order by snapshot/restore of the queue and the
+ * protocol state.
+ *
+ * With no scheduler installed the queue runs the classic heap path,
+ * byte-identical to the pre-seam kernel; tagging call sites check
+ * EventQueue::choiceMode() first, so the hot path allocates nothing.
+ */
+
+#ifndef CNI_SIM_CHOICE_HPP
+#define CNI_SIM_CHOICE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace cni
+{
+
+/**
+ * Descriptive payload of a tagged (choice) event, shared so copies of
+ * the queue (snapshots) do not duplicate it. The blob is the
+ * protocol-visible content of the in-flight message (the CohWire
+ * bytes); state fingerprints fold it in so two states differing only
+ * in what is still in flight never collide.
+ */
+struct ChoiceMeta
+{
+    std::string label;              //!< human-readable ("GetS", "coh")
+    std::vector<std::uint8_t> blob; //!< message content for fingerprints
+};
+
+/** One ready candidate offered to the ChoiceScheduler. */
+struct ChoiceOption
+{
+    std::int32_t channel = -1; //!< FIFO class; -1 = untagged
+    std::uint64_t seq = 0;     //!< scheduling sequence (stable id)
+    Tick when = 0;             //!< the timing model's tick
+    const ChoiceMeta *meta = nullptr; //!< null for untagged events
+};
+
+/**
+ * Decides which ready event runs next. Installed on an EventQueue via
+ * setChooser(); consulted once per step() with at least one option.
+ */
+class ChoiceScheduler
+{
+  public:
+    virtual ~ChoiceScheduler() = default;
+
+    /** Return the index (into `options`) of the event to run. */
+    virtual std::size_t choose(const std::vector<ChoiceOption> &options) = 0;
+};
+
+/**
+ * The canonical-order scheduler: picks the global (tick, seq) minimum,
+ * reproducing the heap kernel's order event for event. Exists to prove
+ * the seam transparent — a run with CanonicalChoice installed must be
+ * indistinguishable from a run without (tests/mc/test_choice_seam).
+ */
+class CanonicalChoice final : public ChoiceScheduler
+{
+  public:
+    std::size_t
+    choose(const std::vector<ChoiceOption> &options) override
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < options.size(); ++i) {
+            const ChoiceOption &o = options[i];
+            const ChoiceOption &b = options[best];
+            if (o.when < b.when ||
+                (o.when == b.when && o.seq < b.seq)) {
+                best = i;
+            }
+        }
+        return best;
+    }
+};
+
+} // namespace cni
+
+#endif // CNI_SIM_CHOICE_HPP

@@ -19,8 +19,11 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "sim/choice.hpp"
 #include "sim/logging.hpp"
 #include "sim/types.hpp"
 
@@ -44,6 +47,29 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
+    /**
+     * One scheduled event. channel/meta are the choice-point tagging
+     * (sim/choice.hpp): channel < 0 is an ordinary (untagged) event;
+     * tagged events form per-channel FIFOs a ChoiceScheduler picks
+     * among. Both fields are null/-1 on the canonical hot path.
+     */
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+        std::int32_t channel = -1;
+        std::shared_ptr<const ChoiceMeta> meta;
+
+        bool
+        operator>(const Event &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
     /** nextTick() result when no events are pending. */
     static constexpr Tick kNoEvent = ~Tick{0};
 
@@ -56,13 +82,167 @@ class EventQueue
     {
         cni_assert(when >= curTick_);
         events_.push_back(Event{when, nextSeq_++, std::move(cb)});
-        std::push_heap(events_.begin(), events_.end(), std::greater<>{});
+        if (chooser_ == nullptr) {
+            std::push_heap(events_.begin(), events_.end(),
+                           std::greater<>{});
+        }
     }
 
     /** Schedule `cb` to run `delta` ticks from now. */
     void scheduleIn(Tick delta, Callback cb)
     {
         scheduleAt(curTick_ + delta, std::move(cb));
+    }
+
+    // --- choice-point seam (sim/choice.hpp) -----------------------------
+
+    /**
+     * Install (or, with nullptr, remove) a ChoiceScheduler. While one
+     * is installed, step() offers the ready candidates — every untagged
+     * event plus the head of every tagged channel — to the scheduler
+     * instead of popping the timing heap, and the tick only advances
+     * monotonically (a chosen event never rewinds it). The classic heap
+     * order is restored on removal.
+     */
+    void
+    setChooser(ChoiceScheduler *c)
+    {
+        chooser_ = c;
+        if (!chooser_) {
+            // Back to heap operation: linear-scan removal broke the
+            // heap property, so rebuild it.
+            std::make_heap(events_.begin(), events_.end(),
+                           std::greater<>{});
+        }
+    }
+
+    /** Is a ChoiceScheduler installed? Tagging call sites check this. */
+    bool choiceMode() const { return chooser_ != nullptr; }
+
+    /**
+     * Schedule a *tagged* event: one of `channel`'s FIFO class, carrying
+     * the message description `meta` for fingerprints and traces. Only
+     * meaningful in choice mode — callers on the hot path must check
+     * choiceMode() first and fall back to scheduleIn (this overload
+     * does so too, dropping the metadata, so a race with chooser
+     * removal stays correct).
+     */
+    void
+    scheduleChoice(std::int32_t channel,
+                   std::shared_ptr<const ChoiceMeta> meta, Tick delta,
+                   Callback cb)
+    {
+        if (!chooser_) {
+            scheduleIn(delta, std::move(cb));
+            return;
+        }
+        cni_assert(channel >= 0);
+        events_.push_back(Event{curTick_ + delta, nextSeq_++,
+                                std::move(cb), channel,
+                                std::move(meta)});
+    }
+
+    /**
+     * The ready heads of every tagged channel (lowest sequence per
+     * channel), sorted by channel id. Choice mode only.
+     */
+    std::vector<ChoiceOption>
+    taggedHeads() const
+    {
+        std::vector<ChoiceOption> heads;
+        for (const Event &ev : events_) {
+            if (ev.channel < 0)
+                continue;
+            ChoiceOption *slot = nullptr;
+            for (ChoiceOption &h : heads) {
+                if (h.channel == ev.channel)
+                    slot = &h;
+            }
+            if (slot == nullptr) {
+                heads.push_back(ChoiceOption{ev.channel, ev.seq, ev.when,
+                                             ev.meta.get()});
+            } else if (ev.seq < slot->seq) {
+                *slot = ChoiceOption{ev.channel, ev.seq, ev.when,
+                                     ev.meta.get()};
+            }
+        }
+        std::sort(heads.begin(), heads.end(),
+                  [](const ChoiceOption &a, const ChoiceOption &b) {
+                      return a.channel < b.channel;
+                  });
+        return heads;
+    }
+
+    /** Any untagged (deterministic continuation) event pending? */
+    bool
+    hasUntagged() const
+    {
+        for (const Event &ev : events_) {
+            if (ev.channel < 0)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Visit every tagged event in (channel, sequence) order — the full
+     * in-flight message set, for state fingerprints.
+     */
+    void
+    forEachTagged(
+        const std::function<void(std::int32_t, const ChoiceMeta &)> &fn)
+        const
+    {
+        std::vector<const Event *> tagged;
+        for (const Event &ev : events_) {
+            if (ev.channel >= 0)
+                tagged.push_back(&ev);
+        }
+        std::sort(tagged.begin(), tagged.end(),
+                  [](const Event *a, const Event *b) {
+                      if (a->channel != b->channel)
+                          return a->channel < b->channel;
+                      return a->seq < b->seq;
+                  });
+        for (const Event *ev : tagged)
+            fn(ev->channel, *ev->meta);
+    }
+
+    /**
+     * Copyable image of the pending-event state, for model-checking
+     * backtracking. Copying events copies their std::function callbacks
+     * — sound for callbacks capturing plain values and pointers to
+     * long-lived components (everything the coherence machinery
+     * schedules), but NOT for coroutine resumptions, whose frames are
+     * shared, not copied. The model-checking rig contains no
+     * coroutines; machines running proc/app workloads do, so snapshots
+     * are only taken of rigs built for checking.
+     */
+    struct Snapshot
+    {
+        std::vector<Event> events;
+        Tick curTick = 0;
+        std::uint64_t nextSeq = 0;
+        std::uint64_t executed = 0;
+    };
+
+    Snapshot
+    snapshot() const
+    {
+        return Snapshot{events_, curTick_, nextSeq_, executed_};
+    }
+
+    void
+    restore(const Snapshot &s)
+    {
+        events_ = s.events;
+        curTick_ = s.curTick;
+        nextSeq_ = s.nextSeq;
+        executed_ = s.executed;
+        if (!chooser_) {
+            std::make_heap(events_.begin(), events_.end(),
+                           std::greater<>{});
+        }
     }
 
     /** True when no events remain. */
@@ -75,7 +255,14 @@ class EventQueue
     Tick
     nextTick() const
     {
-        return events_.empty() ? kNoEvent : events_.front().when;
+        if (events_.empty())
+            return kNoEvent;
+        if (chooser_ == nullptr)
+            return events_.front().when;
+        Tick best = kNoEvent;
+        for (const Event &ev : events_)
+            best = std::min(best, ev.when);
+        return best;
     }
 
     /** Run one event; returns false if the queue was empty. */
@@ -84,6 +271,8 @@ class EventQueue
     {
         if (events_.empty())
             return false;
+        if (chooser_ != nullptr)
+            return stepChoice();
         std::pop_heap(events_.begin(), events_.end(), std::greater<>{});
         Event ev = std::move(events_.back());
         events_.pop_back();
@@ -133,25 +322,63 @@ class EventQueue
     std::uint64_t executed() const { return executed_; }
 
   private:
-    struct Event
+    /**
+     * Choice-mode step: offer the ready candidates (all untagged
+     * events + each tagged channel's lowest-sequence head) to the
+     * installed scheduler, run its pick, and advance the tick
+     * monotonically. The vector is scanned linearly — no heap
+     * maintenance — which is irrelevant at model-checking scale
+     * (a handful of nodes, tens of pending events).
+     */
+    bool
+    stepChoice()
     {
-        Tick when;
-        std::uint64_t seq;
-        Callback cb;
-
-        bool
-        operator>(const Event &o) const
-        {
-            if (when != o.when)
-                return when > o.when;
-            return seq > o.seq;
+        std::vector<ChoiceOption> options;
+        std::vector<std::size_t> where;
+        for (std::size_t i = 0; i < events_.size(); ++i) {
+            const Event &ev = events_[i];
+            if (ev.channel < 0) {
+                options.push_back(ChoiceOption{-1, ev.seq, ev.when,
+                                               nullptr});
+                where.push_back(i);
+                continue;
+            }
+            // Head of its channel so far?
+            std::size_t at = options.size();
+            for (std::size_t k = 0; k < options.size(); ++k) {
+                if (options[k].channel == ev.channel)
+                    at = k;
+            }
+            if (at == options.size()) {
+                options.push_back(ChoiceOption{ev.channel, ev.seq,
+                                               ev.when, ev.meta.get()});
+                where.push_back(i);
+            } else if (ev.seq < options[at].seq) {
+                options[at] = ChoiceOption{ev.channel, ev.seq, ev.when,
+                                           ev.meta.get()};
+                where[at] = i;
+            }
         }
-    };
+        const std::size_t pick = chooser_->choose(options);
+        cni_assert(pick < options.size());
+        const std::size_t idx = where[pick];
+        Event ev = std::move(events_[idx]);
+        events_[idx] = std::move(events_.back());
+        events_.pop_back();
+        // Time is a partial order here: a chosen event may carry an
+        // earlier tick than one already executed on another channel.
+        curTick_ = std::max(curTick_, ev.when);
+        ++executed_;
+        ev.cb();
+        return true;
+    }
 
-    std::vector<Event> events_; //!< min-heap by (when, seq)
+    std::vector<Event> events_; //!< min-heap by (when, seq); plain
+                                //!< scan-order vector in choice mode
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
+    ChoiceScheduler *chooser_ = nullptr;
 };
 
 } // namespace cni

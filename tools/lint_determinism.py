@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Determinism lint for the simulation core.
+
+Every simulation in this repository must be exactly reproducible: the
+serial kernel executes events in (tick, seq) order, the sharded kernel
+merges cross-shard effects canonically, and the model checker replays
+snapshots. All three guarantees die quietly the moment nondeterminism
+sneaks into src/{sim,net,coh,core,bus,mem} — a wall-clock seed, an
+unordered container whose iteration order leaks into event order or
+stats, a pointer used as a map key.
+
+This lint greps the deterministic core for the known footguns:
+
+  - rand()/random()/srand() and std::random_device (unseeded entropy)
+  - time(), clock(), gettimeofday(), std::chrono::system_clock /
+    steady_clock (wall-clock values entering the simulation)
+  - std::unordered_map / std::unordered_set (iteration order is
+    implementation-defined; the ordered containers cost nothing at
+    simulation scale)
+  - containers keyed by pointers (address-space layout becomes
+    simulation-visible)
+
+Findings are fatal unless listed in tools/determinism_allowlist.txt as
+`path:pattern` (one per line, '#' comments), which exists so a reviewed,
+justified exception is visible in the diff rather than silently waved
+through.
+
+Usage: tools/lint_determinism.py [--root REPO_ROOT]
+Exit codes: 0 clean, 1 findings, 2 usage error.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Directories forming the deterministic simulation core.
+CORE_DIRS = ["src/sim", "src/net", "src/coh", "src/core", "src/bus",
+             "src/mem"]
+
+# (name, regex, why). Patterns run on comment-stripped lines.
+RULES = [
+    ("rand",
+     re.compile(r"\b(?:std::)?s?rand(?:om)?\s*\("),
+     "unseeded entropy makes runs unreproducible"),
+    ("random-device",
+     re.compile(r"\bstd::random_device\b"),
+     "hardware entropy source in the simulation core"),
+    ("wall-clock",
+     re.compile(r"\b(?:std::)?(?:time|clock|gettimeofday)\s*\("),
+     "wall-clock time entering simulation state"),
+    ("chrono-clock",
+     re.compile(r"\bstd::chrono::(?:system|steady|high_resolution)"
+                r"_clock\b"),
+     "host clock readings are not reproducible"),
+    ("unordered-container",
+     re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b"),
+     "iteration order is implementation-defined; use std::map/std::set"),
+    ("pointer-keyed-map",
+     re.compile(r"\bstd::(?:map|set)\s*<\s*(?:const\s+)?[A-Za-z_]\w*"
+                r"(?:::\w+)*\s*\*"),
+     "pointer keys order by address-space layout"),
+]
+
+COMMENT_RE = re.compile(r"//.*$")
+
+
+def strip_comments(text):
+    """Drop // and /* */ comments, preserving line structure."""
+    out = []
+    in_block = False
+    for line in text.splitlines():
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                out.append("")
+                continue
+            line = line[end + 2:]
+            in_block = False
+        # Inline /* ... */ runs (possibly several per line).
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + line[end + 2:]
+        out.append(COMMENT_RE.sub("", line))
+    return out
+
+
+def load_allowlist(path):
+    allowed = set()
+    if not path.exists():
+        return allowed
+    for raw in path.read_text().splitlines():
+        entry = raw.split("#", 1)[0].strip()
+        if entry:
+            allowed.add(entry)
+    return allowed
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: the lint's repo)")
+    args = ap.parse_args()
+
+    root = (pathlib.Path(args.root) if args.root
+            else pathlib.Path(__file__).resolve().parent.parent)
+    if not (root / "src").is_dir():
+        print(f"lint_determinism: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    allowed = load_allowlist(root / "tools" / "determinism_allowlist.txt")
+
+    findings = []
+    scanned = 0
+    for core in CORE_DIRS:
+        base = root / core
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".cpp", ".hpp", ".h", ".cc"):
+                continue
+            scanned += 1
+            rel = path.relative_to(root).as_posix()
+            lines = strip_comments(path.read_text())
+            for lineno, line in enumerate(lines, start=1):
+                for name, rx, why in RULES:
+                    if not rx.search(line):
+                        continue
+                    if f"{rel}:{name}" in allowed:
+                        continue
+                    findings.append(
+                        f"{rel}:{lineno}: [{name}] {line.strip()}\n"
+                        f"    {why}")
+
+    if findings:
+        print(f"lint_determinism: {len(findings)} finding(s) in "
+              f"{scanned} core files:\n")
+        print("\n".join(findings))
+        print("\nFix the code, or add 'path:rule' to "
+              "tools/determinism_allowlist.txt with a justifying "
+              "comment.")
+        return 1
+
+    print(f"lint_determinism: {scanned} core files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
