@@ -70,6 +70,48 @@ BM_EventQueueStepHeavyCallbacks(benchmark::State &state)
 }
 BENCHMARK(BM_EventQueueStepHeavyCallbacks)->Arg(16384);
 
+/**
+ * Timing-wheel stress: deltas drawn from all three residence bands
+ * (L0 one-tick buckets, L1 coarse slots, overflow heap), so the run
+ * pays L1 -> L0 cascades and overflow refills, not just near-term
+ * bucket pushes. Guards the wheel's schedule+dispatch cost on the
+ * mixed-horizon distribution real machines produce (retry timers and
+ * window waits land far out, port/link events land near).
+ */
+void
+BM_TimingWheelScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        std::uint64_t x = 0x9e3779b97f4a7c15ull; // splitmix-style stream
+        for (int i = 0; i < state.range(0); ++i) {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            const std::uint64_t r = x * 0x2545f4914f6cdd1dull;
+            Tick delta;
+            switch (r & 3) {
+              case 0:
+                delta = Tick(r >> 32) % 256; // L0
+                break;
+              case 1:
+              case 2:
+                delta = Tick(r >> 32) % 16384; // L1
+                break;
+              default:
+                delta = 16384 + Tick(r >> 32) % 65536; // overflow
+                break;
+            }
+            eq.scheduleIn(delta, [&sink] { ++sink; });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TimingWheelScheduleRun)->Arg(1024)->Arg(65536);
+
 void
 BM_CoroutineDelayChain(benchmark::State &state)
 {
@@ -113,6 +155,53 @@ BM_SimulatedRoundTrip(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SimulatedRoundTrip)->Unit(benchmark::kMillisecond);
+
+/**
+ * Fragmented-message pipeline: user messages an order of magnitude
+ * larger than one 256-byte network packet, so every send fans out into
+ * a fragment train and the receiver reassembles. This is the path the
+ * copy-on-demand MsgPayload exists for — each fragment's payload is
+ * copied into staging queues, arrival deques, and delivery closures,
+ * and before the refcounted buffer those were all 244-byte memcpys.
+ */
+void
+BM_FragmentPipeline(benchmark::State &state)
+{
+    setVerbose(false);
+    const int msgBytes = static_cast<int>(state.range(0));
+    const int msgs = 32;
+    for (auto _ : state) {
+        state.PauseTiming();
+        const MachineSpec spec =
+            Machine::describe().nodes(2).ni("CNI512Q").spec();
+        auto m = std::make_unique<Machine>(spec);
+        int got = 0;
+        m->endpoint(1).onMessage(1,
+                                 [&got](const UserMsg &) -> CoTask<void> {
+                                     ++got;
+                                     co_return;
+                                 });
+        m->spawn(0, [](Machine &m, int bytes, int count) -> CoTask<void> {
+            std::vector<std::uint8_t> buf(std::size_t(bytes), 0x5a);
+            for (int i = 0; i < count; ++i)
+                co_await m.endpoint(0).send(1, 1, buf.data(), buf.size());
+        }(*m, msgBytes, msgs));
+        m->spawn(1, [](Machine &m, int count, int *got) -> CoTask<void> {
+            co_await m.endpoint(1).pollUntil(
+                [got, count] { return *got >= count; });
+        }(*m, msgs, &got));
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(m->run());
+        state.PauseTiming();
+        m.reset();
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(state.iterations() * msgs);
+}
+BENCHMARK(BM_FragmentPipeline)
+    ->Arg(2048)
+    ->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
 
 /**
  * Sharded-kernel scaling sweep: an N-node mesh machine where every node

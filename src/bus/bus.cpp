@@ -41,8 +41,13 @@ toString(TxnKind k)
 
 SnoopBus::SnoopBus(EventQueue &eq, std::string name, BusKind kind)
     : eq_(eq), name_(std::move(name)), kind_(kind),
-      spec_(BusTimingSpec::forKind(kind)), stats_(name_)
+      spec_(BusTimingSpec::forKind(kind)), stats_(name_),
+      cTxns_(stats_, "txns"), cOccupancyCycles_(stats_, "occupancy_cycles")
 {
+    for (int k = 0; k < 6; ++k) {
+        cTxnKind_[k] = StatSet::Counter(
+            stats_, std::string("txn_") + toString(static_cast<TxnKind>(k)));
+    }
 }
 
 int
@@ -105,14 +110,14 @@ SnoopBus::grantNext()
 void
 SnoopBus::startTxn(Pending p)
 {
-    stats_.incr("txns");
-    stats_.incr(std::string("txn_") + toString(p.txn.kind));
+    cTxns_.incr();
+    cTxnKind_[static_cast<int>(p.txn.kind)].incr();
 
     SnoopResult res = broadcast(p.txn);
 
     if (p.autoRelease) {
         const Tick occ = occupancyFor(p.txn, res);
-        stats_.incr("occupancy_cycles", occ);
+        cOccupancyCycles_.incr(occ);
         // Hold for the occupancy, then complete the requester and free
         // the bus. The completion callback runs before the next grant so
         // the requester's state update is ordered ahead of later snoops.

@@ -185,6 +185,9 @@ class SnoopBus
     Tick heldSince_ = 0;
     Tick occupiedCycles_ = 0;
     StatSet stats_;
+    StatSet::Counter cTxns_;
+    StatSet::Counter cOccupancyCycles_;
+    StatSet::Counter cTxnKind_[6]; //!< per-TxnKind, indexed by enum value
 };
 
 } // namespace cni

@@ -10,7 +10,9 @@ NodeFabric::NodeFabric(EventQueue &eq, const std::string &name,
                        NiPlacement p)
     : CoherenceDomain(p), eq_(eq),
       membus_(eq, name + ".membus", BusKind::MemoryBus),
-      stats_(name + ".bridge")
+      stats_(name + ".bridge"), cDownstream_(stats_, "downstream"),
+      cUpstream_(stats_, "upstream"),
+      cBridgeConflicts_(stats_, "bridge_conflicts")
 {
     if (p == NiPlacement::IoBus) {
         iobus_ = std::make_unique<SnoopBus>(eq, name + ".iobus",
@@ -87,9 +89,9 @@ NodeFabric::deviceIssue(const BusTxn &txn, SnoopBus::Done done)
 void
 NodeFabric::crossDownstream(BusTxn txn, SnoopBus::Done done)
 {
-    stats_.incr("downstream");
+    cDownstream_.incr();
     if (membus_.busy())
-        stats_.incr("bridge_conflicts");
+        cBridgeConflicts_.incr();
 
     if (isPosted(txn.kind)) {
         // Posted: the processor side completes after the memory-bus
@@ -126,9 +128,9 @@ NodeFabric::crossDownstream(BusTxn txn, SnoopBus::Done done)
 void
 NodeFabric::crossUpstream(BusTxn txn, SnoopBus::Done done)
 {
-    stats_.incr("upstream");
+    cUpstream_.incr();
     if (membus_.busy())
-        stats_.incr("bridge_conflicts");
+        cBridgeConflicts_.incr();
 
     if (isPosted(txn.kind)) {
         // Device-side invalidations and writebacks are buffered by the

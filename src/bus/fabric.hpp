@@ -104,6 +104,9 @@ class NodeFabric : public CoherenceDomain
     std::unique_ptr<SnoopBus> iobus_;
     std::unique_ptr<SnoopBus> cachebus_;
     StatSet stats_;
+    StatSet::Counter cDownstream_;
+    StatSet::Counter cUpstream_;
+    StatSet::Counter cBridgeConflicts_;
 };
 
 } // namespace cni

@@ -8,7 +8,19 @@ namespace cni
 Cache::Cache(EventQueue &eq, std::string name, std::size_t numBlocks,
              Initiator initiator)
     : eq_(eq), name_(std::move(name)), initiator_(initiator),
-      lines_(numBlocks), stats_(name_)
+      lines_(numBlocks), stats_(name_), cLoadHits_(stats_, "load_hits"),
+      cLoadMisses_(stats_, "load_misses"),
+      cStoreHits_(stats_, "store_hits"),
+      cStoreUpgrades_(stats_, "store_upgrades"),
+      cStoreUpgradeFills_(stats_, "store_upgrade_fills"),
+      cStoreUpgradeRaces_(stats_, "store_upgrade_races"),
+      cStoreMisses_(stats_, "store_misses"),
+      cStoreRefillRaces_(stats_, "store_refill_races"),
+      cWritebacks_(stats_, "writebacks"), cClaims_(stats_, "claims"),
+      cFlushWritebacks_(stats_, "flush_writebacks"),
+      cSnoopSupplies_(stats_, "snoop_supplies"),
+      cSnoopInvalidations_(stats_, "snoop_invalidations"),
+      cSnarfs_(stats_, "snarfs")
 {
     cni_assert(numBlocks > 0);
 }
@@ -71,11 +83,11 @@ Cache::load(Addr a)
 {
     Line &ln = lineFor(a);
     if (hit(ln, a)) {
-        stats_.incr("load_hits");
+        cLoadHits_.incr();
         co_await delay(eq_, hitLatency_);
         co_return;
     }
-    stats_.incr("load_misses");
+    cLoadMisses_.incr();
     co_await refill(a, false);
 }
 
@@ -87,14 +99,14 @@ Cache::store(Addr a)
     for (;;) {
         Line &ln = lineFor(a);
         if (hit(ln, a) && isWritable(ln.state)) {
-            stats_.incr("store_hits");
+            cStoreHits_.incr();
             ln.state = Moesi::Modified; // E -> M silently
             co_await delay(eq_, hitLatency_);
             co_return;
         }
         if (hit(ln, a)) {
             // Shared or Owned: address-only upgrade.
-            stats_.incr("store_upgrades");
+            cStoreUpgrades_.incr();
             SnoopResult res = co_await issueTxn(TxnKind::Upgrade, a);
             Line &ln2 = lineFor(a);
             if (hit(ln2, a)) {
@@ -105,17 +117,17 @@ Cache::store(Addr a)
                 // Invalidated while the upgrade was in flight, but the
                 // home converted it to a read-to-own and the completion
                 // carried the block: install it, no retry round trip.
-                stats_.incr("store_upgrade_fills");
+                cStoreUpgradeFills_.incr();
                 ln2.tag = blockAlign(a);
                 ln2.tagValid = true;
                 ln2.state = Moesi::Modified;
                 co_return;
             }
             // Invalidated while arbitrating; fall through and retry.
-            stats_.incr("store_upgrade_races");
+            cStoreUpgradeRaces_.incr();
             continue;
         }
-        stats_.incr("store_misses");
+        cStoreMisses_.incr();
         co_await refill(a, true);
         Line &ln3 = lineFor(a);
         if (hit(ln3, a) && isWritable(ln3.state)) {
@@ -124,7 +136,7 @@ Cache::store(Addr a)
         }
         // Extremely unlikely: lost the block between refill completion and
         // now (same tick). Retry.
-        stats_.incr("store_refill_races");
+        cStoreRefillRaces_.incr();
     }
 }
 
@@ -138,7 +150,7 @@ Cache::fetchBlock(Addr a, bool exclusive)
         co_return;
     }
     if (exclusive && hit(ln, a)) {
-        stats_.incr("store_upgrades");
+        cStoreUpgrades_.incr();
         SnoopResult res = co_await issueTxn(TxnKind::Upgrade, a);
         Line &ln2 = lineFor(a);
         if (hit(ln2, a)) {
@@ -146,7 +158,7 @@ Cache::fetchBlock(Addr a, bool exclusive)
             co_return;
         }
         if (res.upgradeFilled) {
-            stats_.incr("store_upgrade_fills");
+            cStoreUpgradeFills_.incr();
             ln2.tag = blockAlign(a);
             ln2.tagValid = true;
             ln2.state = Moesi::Modified;
@@ -168,7 +180,7 @@ Cache::refill(Addr a, bool exclusive)
     // Victim writeback: dirty data must reach its home before the frame is
     // reused.
     if (ln.tagValid && isDirty(ln.state)) {
-        stats_.incr("writebacks");
+        cWritebacks_.incr();
         const Addr victim = ln.tag;
         ln.state = Moesi::Invalid;
         co_await issueTxn(TxnKind::Writeback, victim);
@@ -199,7 +211,7 @@ Cache::claimBlock(Addr a, bool deferWriteback)
     }
     // Displace a dirty victim (different block in the same frame).
     if (ln.tagValid && ln.tag != blockAlign(a) && isDirty(ln.state)) {
-        stats_.incr("writebacks");
+        cWritebacks_.incr();
         const Addr victim = ln.tag;
         ln.state = Moesi::Invalid;
         if (deferWriteback) {
@@ -215,7 +227,7 @@ Cache::claimBlock(Addr a, bool deferWriteback)
             co_await issueTxn(TxnKind::Writeback, victim);
         }
     }
-    stats_.incr("claims");
+    cClaims_.incr();
     co_await issueTxn(TxnKind::Upgrade, a);
     Line &ln2 = lineFor(a);
     ln2.tag = blockAlign(a);
@@ -230,7 +242,7 @@ Cache::flushBlock(Addr a)
     if (!hit(ln, a))
         co_return;
     if (isDirty(ln.state)) {
-        stats_.incr("flush_writebacks");
+        cFlushWritebacks_.incr();
         ln.state = Moesi::Invalid;
         co_await issueTxn(TxnKind::Writeback, blockAlign(a));
     } else {
@@ -266,7 +278,7 @@ Cache::onBusTxn(const BusTxn &txn)
           case Moesi::Modified:
           case Moesi::Owned:
             reply.supplied = true;
-            stats_.incr("snoop_supplies");
+            cSnoopSupplies_.incr();
             if (transferOwnership_) {
                 reply.transferOwnership = true;
                 ln.state = Moesi::Shared;
@@ -292,10 +304,10 @@ Cache::onBusTxn(const BusTxn &txn)
         reply.hadCopy = true;
         if (isDirty(ln.state)) {
             reply.supplied = true;
-            stats_.incr("snoop_supplies");
+            cSnoopSupplies_.incr();
         }
         ln.state = Moesi::Invalid;
-        stats_.incr("snoop_invalidations");
+        cSnoopInvalidations_.incr();
         return reply;
       }
 
@@ -306,7 +318,7 @@ Cache::onBusTxn(const BusTxn &txn)
         // Requester holds a valid copy already; no data moves.
         reply.hadCopy = true;
         ln.state = Moesi::Invalid;
-        stats_.incr("snoop_invalidations");
+        cSnoopInvalidations_.incr();
         return reply;
       }
 
@@ -317,7 +329,7 @@ Cache::onBusTxn(const BusTxn &txn)
             // Data snarfing: the frame is already allocated to this block
             // (tag match, invalid); grab the data off the bus.
             ln.state = Moesi::Shared;
-            stats_.incr("snarfs");
+            cSnarfs_.incr();
             SnoopReply r;
             r.hadCopy = true; // a copy now exists
             return r;

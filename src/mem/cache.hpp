@@ -155,6 +155,22 @@ class Cache : public BusAgent
     bool snarfing_ = false;
     bool transferOwnership_ = false;
     StatSet stats_;
+
+    // Pre-bound per-access counters (sim/stats.hpp Counter contract).
+    StatSet::Counter cLoadHits_;
+    StatSet::Counter cLoadMisses_;
+    StatSet::Counter cStoreHits_;
+    StatSet::Counter cStoreUpgrades_;
+    StatSet::Counter cStoreUpgradeFills_;
+    StatSet::Counter cStoreUpgradeRaces_;
+    StatSet::Counter cStoreMisses_;
+    StatSet::Counter cStoreRefillRaces_;
+    StatSet::Counter cWritebacks_;
+    StatSet::Counter cClaims_;
+    StatSet::Counter cFlushWritebacks_;
+    StatSet::Counter cSnoopSupplies_;
+    StatSet::Counter cSnoopInvalidations_;
+    StatSet::Counter cSnarfs_;
 };
 
 } // namespace cni

@@ -23,7 +23,8 @@ class MainMemory : public BusAgent
 {
   public:
     explicit MainMemory(std::string name = "memory")
-        : name_(std::move(name)), stats_(name_)
+        : name_(std::move(name)), stats_(name_),
+          cReads_(stats_, "reads"), cWritebacks_(stats_, "writebacks")
     {
     }
 
@@ -37,11 +38,11 @@ class MainMemory : public BusAgent
           case TxnKind::ReadShared:
           case TxnKind::ReadExclusive:
             r.isHome = true;
-            stats_.incr("reads");
+            cReads_.incr();
             break;
           case TxnKind::Writeback:
             r.isHome = true;
-            stats_.incr("writebacks");
+            cWritebacks_.incr();
             break;
           default:
             break;
@@ -58,6 +59,8 @@ class MainMemory : public BusAgent
   private:
     std::string name_;
     StatSet stats_;
+    StatSet::Counter cReads_;
+    StatSet::Counter cWritebacks_;
 };
 
 } // namespace cni

@@ -29,7 +29,9 @@ class StoreBuffer
     StoreBuffer(EventQueue &eq, std::string name, TxnIssue issue,
                 int depth = 8)
         : eq_(eq), name_(std::move(name)), issue_(std::move(issue)),
-          depth_(depth), room_(eq), empty_(eq), stats_(name_)
+          depth_(depth), room_(eq), empty_(eq), stats_(name_),
+          cFullStalls_(stats_, "full_stalls"), cStores_(stats_, "stores"),
+          cMembars_(stats_, "membars")
     {
     }
 
@@ -41,11 +43,11 @@ class StoreBuffer
     push(Addr addr, std::uint64_t data)
     {
         while (static_cast<int>(entries_.size()) >= depth_) {
-            stats_.incr("full_stalls");
+            cFullStalls_.incr();
             co_await room_.wait();
         }
         entries_.push_back(Entry{addr, data});
-        stats_.incr("stores");
+        cStores_.incr();
         pump();
         co_await delay(eq_, 1);
     }
@@ -54,7 +56,7 @@ class StoreBuffer
     CoTask<void>
     drain()
     {
-        stats_.incr("membars");
+        cMembars_.incr();
         while (!entries_.empty() || draining_)
             co_await empty_.wait();
     }
@@ -102,6 +104,9 @@ class StoreBuffer
     WaitChannel room_;
     WaitChannel empty_;
     StatSet stats_;
+    StatSet::Counter cFullStalls_;
+    StatSet::Counter cStores_;
+    StatSet::Counter cMembars_;
 };
 
 } // namespace cni

@@ -9,7 +9,12 @@ namespace cni
 
 MsgLayer::MsgLayer(Proc &p, NetIface &ni, int ctx)
     : p_(p), ni_(ni), ctx_(ctx),
-      stats_("node" + std::to_string(p.id()) + ".msg")
+      stats_("node" + std::to_string(p.id()) + ".msg"),
+      cUserSends_(stats_, "user_sends"),
+      cUserSendBytes_(stats_, "user_send_bytes"),
+      cSendBlocks_(stats_, "send_blocks"),
+      cSoftwareBuffered_(stats_, "software_buffered"),
+      cDispatches_(stats_, "dispatches")
 {
 }
 
@@ -41,8 +46,8 @@ MsgLayer::send(NodeId dst, std::uint32_t handler, const void *payload,
     const std::uint16_t frags = static_cast<std::uint16_t>(
         bytes == 0 ? 1 : (bytes + kNetworkPayloadBytes - 1) /
                              kNetworkPayloadBytes);
-    stats_.incr("user_sends");
-    stats_.incr("user_send_bytes", bytes);
+    cUserSends_.incr();
+    cUserSendBytes_.incr(bytes);
 
     std::size_t off = 0;
     for (std::uint16_t f = 0; f < frags; ++f) {
@@ -67,7 +72,7 @@ MsgLayer::send(NodeId dst, std::uint32_t handler, const void *payload,
             bool ok = co_await ni_.trySend(p_, m, ctx_);
             if (ok)
                 break;
-            stats_.incr("send_blocks");
+            cSendBlocks_.incr();
             co_await drainWhileBlocked();
         }
     }
@@ -99,7 +104,7 @@ MsgLayer::drainWhileBlocked()
         const Addr buf = nextUserBuf(m.wireBytes());
         co_await p_.touch(buf, m.wireBytes(), true);
         softBuf_.push_back(std::move(m));
-        stats_.incr("software_buffered");
+        cSoftwareBuffered_.incr();
     }
     if (!any)
         co_await p_.delay(ni_.netParams().blockedSendBackoff);
@@ -183,7 +188,7 @@ MsgLayer::poll(int maxDispatch)
         if (it == handlers_.end())
             cni_panic("no handler registered for id %u", u.handler);
         co_await p_.delay(kDispatchCycles);
-        stats_.incr("dispatches");
+        cDispatches_.incr();
         co_await it->second(u);
         ++dispatched;
     }

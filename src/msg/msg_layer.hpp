@@ -134,6 +134,11 @@ class MsgLayer
     Addr userBufCursor_ = 0;
     FlowControlPolicy flowControl_ = FlowControlPolicy::Auto;
     StatSet stats_;
+    StatSet::Counter cUserSends_;
+    StatSet::Counter cUserSendBytes_;
+    StatSet::Counter cSendBlocks_;
+    StatSet::Counter cSoftwareBuffered_;
+    StatSet::Counter cDispatches_;
 };
 
 } // namespace cni

@@ -22,7 +22,9 @@ meshDimsFor(int n)
 }
 
 MeshNet::MeshNet(EventQueue &eq, int numNodes, NetParams params, bool wrap)
-    : Interconnect(eq, numNodes, std::move(params)), wrap_(wrap)
+    : Interconnect(eq, numNodes, std::move(params)), wrap_(wrap),
+      cLinkWaitCycles_(stats_, "link_wait_cycles"),
+      cLinkBusyCycles_(stats_, "link_busy_cycles"), cHops_(stats_, "hops")
 {
     if (params_.meshX > 0 && params_.meshY > 0) {
         dimX_ = params_.meshX;
@@ -98,13 +100,13 @@ MeshNet::routeDelay(const NetMsg &msg, Tick now)
         t += params_.hopLatency;
         const Tick start = link(cur, dir).reserve(t, ser);
         if (start > t)
-            stats_.incr("link_wait_cycles", start - t);
-        stats_.incr("link_busy_cycles", ser);
+            cLinkWaitCycles_.incr(start - t);
+        cLinkBusyCycles_.incr(ser);
         t = start + ser;
         cur = next;
         ++nhops;
     }
-    stats_.incr("hops", nhops);
+    cHops_.incr(nhops);
     return t - now;
 }
 

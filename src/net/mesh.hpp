@@ -53,6 +53,17 @@ class MeshNet : public Interconnect
      */
     Tick minLatency() const override { return params_.hopLatency; }
 
+    /**
+     * Per-pair bound: the dimension-order hop count times the hop
+     * latency. Both routeDelay (hops * hopLatency + serialization and
+     * link waits) and ackDelay (hops * hopLatency) respect it.
+     */
+    Tick
+    pairLatency(NodeId src, NodeId dst) const override
+    {
+        return Tick(std::max(1, hops(src, dst))) * params_.hopLatency;
+    }
+
     void reportTopology(JsonWriter &w) const override;
 
   protected:
@@ -89,6 +100,9 @@ class MeshNet : public Interconnect
     int dimX_ = 0;
     int dimY_ = 0;
     std::vector<Link> links_; //!< 4 per node, indexed node*4 + Dir
+    StatSet::Counter cLinkWaitCycles_;
+    StatSet::Counter cLinkBusyCycles_;
+    StatSet::Counter cHops_;
 };
 
 } // namespace cni

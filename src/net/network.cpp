@@ -8,6 +8,13 @@ namespace cni
 
 Interconnect::Interconnect(EventQueue &eq, int numNodes, NetParams params)
     : eq_(eq), params_(std::move(params)), stats_("network"),
+      cInjected_(stats_, "injected"),
+      cPayloadBytes_(stats_, "payload_bytes"),
+      cDelivered_(stats_, "delivered"),
+      cDeliveryRetries_(stats_, "delivery_retries"),
+      cRetryWaitCycles_(stats_, "retry_wait_cycles"),
+      cLookaheadDeferrals_(stats_, "lookahead_deferrals"),
+      cLookaheadDeferredCycles_(stats_, "lookahead_deferred_cycles"),
       numNodes_(numNodes), ports_(numNodes, nullptr),
       cohPorts_(numNodes, nullptr),
       inFlight_(numNodes, std::vector<int>(numNodes, 0)),
@@ -44,13 +51,11 @@ Interconnect::foldShardCounters()
     for (NodeId n = 0; n < numNodes_; ++n) {
         const NodeCounters &cur = perNode_[n];
         NodeCounters &last = folded_[n];
-        stats_.incr("injected", cur.injected - last.injected);
-        stats_.incr("payload_bytes", cur.payloadBytes - last.payloadBytes);
-        stats_.incr("delivered", cur.delivered - last.delivered);
-        stats_.incr("delivery_retries",
-                    cur.deliveryRetries - last.deliveryRetries);
-        stats_.incr("retry_wait_cycles",
-                    cur.retryWaitCycles - last.retryWaitCycles);
+        cInjected_.incr(cur.injected - last.injected);
+        cPayloadBytes_.incr(cur.payloadBytes - last.payloadBytes);
+        cDelivered_.incr(cur.delivered - last.delivered);
+        cDeliveryRetries_.incr(cur.deliveryRetries - last.deliveryRetries);
+        cRetryWaitCycles_.incr(cur.retryWaitCycles - last.retryWaitCycles);
         last = cur;
     }
 }
@@ -151,8 +156,8 @@ Interconnect::inject(NetMsg msg)
         return;
     }
 
-    stats_.incr("injected");
-    stats_.incr("payload_bytes", msg.payloadBytes());
+    cInjected_.incr();
+    cPayloadBytes_.incr(msg.payloadBytes());
     const Tick delay = routeDelay(msg, eq_.now());
     eq_.scheduleIn(delay, [this, m = std::move(msg)]() mutable {
         deliverArrival(std::move(m));
@@ -169,8 +174,8 @@ Interconnect::routeFromBarrier(NetMsg msg, Tick injectTick, Tick notBefore)
         // deferring to the window boundary keeps the merge conservative
         // and deterministic. Counted (messages + cycles of skew) so
         // sweeps can spot it.
-        stats_.incr("lookahead_deferrals");
-        stats_.incr("lookahead_deferred_cycles", notBefore - when);
+        cLookaheadDeferrals_.incr();
+        cLookaheadDeferredCycles_.incr(notBefore - when);
         when = notBefore;
     }
     const NodeId dst = msg.dst;
@@ -214,8 +219,8 @@ Interconnect::pumpArrivals(NodeId dst)
             ++perNode_[dst].deliveryRetries;
             perNode_[dst].retryWaitCycles += params_.retryInterval;
         } else {
-            stats_.incr("delivery_retries");
-            stats_.incr("retry_wait_cycles", params_.retryInterval);
+            cDeliveryRetries_.incr();
+            cRetryWaitCycles_.incr(params_.retryInterval);
         }
         pumping_[dst] = true;
         nodeQueue(dst).scheduleIn(params_.retryInterval, [this, dst] {
@@ -227,7 +232,7 @@ Interconnect::pumpArrivals(NodeId dst)
     if (shards_)
         ++perNode_[dst].delivered;
     else
-        stats_.incr("delivered");
+        cDelivered_.incr();
     // Acknowledgment travels back across the fabric, then the
     // sliding-window slot frees.
     const NodeId src = arrivalQ_[dst].front().src;

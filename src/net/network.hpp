@@ -164,6 +164,22 @@ class Interconnect
     virtual Tick minLatency() const { return params_.latency; }
 
     /**
+     * Conservative lower bound on any interaction specifically from
+     * `src` to `dst` (src != dst): every routeDelay()/ackDelay() for the
+     * pair must be >= this. Default: the global minLatency(). Routed
+     * topologies override it with the pair's routing distance, which the
+     * sharded kernel's distance-aware lookahead (NetParams::distLookahead)
+     * turns into wider windows when only far-apart shards are active.
+     */
+    virtual Tick
+    pairLatency(NodeId src, NodeId dst) const
+    {
+        (void)src;
+        (void)dst;
+        return minLatency();
+    }
+
+    /**
      * Switch to sharded operation: node-side work (injection
      * bookkeeping, arrival pumping) runs on per-node shard queues, and
      * cross-node effects are posted through `host` for deterministic
@@ -251,6 +267,16 @@ class Interconnect
     EventQueue &eq_;
     NetParams params_;
     StatSet stats_;
+    // Pre-bound handles for the per-message / per-hop counters
+    // (sim/stats.hpp) — the string-keyed incr() is too slow for paths
+    // that run once per simulated network event.
+    StatSet::Counter cInjected_;
+    StatSet::Counter cPayloadBytes_;
+    StatSet::Counter cDelivered_;
+    StatSet::Counter cDeliveryRetries_;
+    StatSet::Counter cRetryWaitCycles_;
+    StatSet::Counter cLookaheadDeferrals_;
+    StatSet::Counter cLookaheadDeferredCycles_;
 
   private:
     void deliverArrival(NetMsg msg);

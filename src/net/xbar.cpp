@@ -10,7 +10,9 @@ namespace cni
 
 CrossbarNet::CrossbarNet(EventQueue &eq, int numNodes, NetParams params)
     : Interconnect(eq, numNodes, std::move(params)), egress_(numNodes),
-      ingress_(numNodes)
+      ingress_(numNodes), cEgressWaitCycles_(stats_, "egress_wait_cycles"),
+      cIngressWaitCycles_(stats_, "ingress_wait_cycles"),
+      cPortBusyCycles_(stats_, "port_busy_cycles")
 {
     cni_assert(params_.linkBw >= 1);
 }
@@ -23,8 +25,8 @@ CrossbarNet::routeDelay(const NetMsg &msg, Tick now)
     // Serialize out of the source's injection port...
     const Tick outStart = egress_[msg.src].reserve(now, ser);
     if (outStart > now)
-        stats_.incr("egress_wait_cycles", outStart - now);
-    stats_.incr("port_busy_cycles", ser);
+        cEgressWaitCycles_.incr(outStart - now);
+    cPortBusyCycles_.incr(ser);
 
     // ...cross the (non-blocking) switch...
     const Tick transit = outStart + ser + params_.latency;
@@ -32,8 +34,8 @@ CrossbarNet::routeDelay(const NetMsg &msg, Tick now)
     // ...and serialize into the destination's delivery port.
     const Tick inStart = ingress_[msg.dst].reserve(transit, ser);
     if (inStart > transit)
-        stats_.incr("ingress_wait_cycles", inStart - transit);
-    stats_.incr("port_busy_cycles", ser);
+        cIngressWaitCycles_.incr(inStart - transit);
+    cPortBusyCycles_.incr(ser);
 
     return inStart + ser - now;
 }

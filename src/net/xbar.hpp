@@ -41,6 +41,9 @@ class CrossbarNet : public Interconnect
 
     std::vector<PortState> egress_; //!< per-source injection port
     std::vector<PortState> ingress_; //!< per-destination delivery port
+    StatSet::Counter cEgressWaitCycles_;
+    StatSet::Counter cIngressWaitCycles_;
+    StatSet::Counter cPortBusyCycles_;
 };
 
 } // namespace cni

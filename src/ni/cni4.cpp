@@ -20,7 +20,13 @@ blocksForWire(std::size_t wireBytes)
 Cni4::Cni4(EventQueue &eq, NodeId node, CoherenceDomain &coh, Network &net,
            NodeMemory &mem, const std::string &name)
     : NetIface(eq, node, coh, net, mem, name),
-      devCache_(eq, name + ".devcache", 2 * kCdrBlocks, Initiator::Device)
+      devCache_(eq, name + ".devcache", 2 * kCdrBlocks, Initiator::Device),
+      cSendFull_(stats_, "send_full"), cSends_(stats_, "sends"),
+      cRecvEmptyPolls_(stats_, "recv_empty_polls"),
+      cRecvs_(stats_, "recvs"), cRecvRefused_(stats_, "recv_refused"),
+      cSendBlocksPulled_(stats_, "send_blocks_pulled"),
+      cRecvClears_(stats_, "recv_clears"),
+      cRecvPresented_(stats_, "recv_presented")
 {
     devCache_.setIssuePort([this](const BusTxn &txn,
                                   std::function<void(SnoopResult)> done) {
@@ -47,7 +53,7 @@ Cni4::trySend(Proc &p, NetMsg msg, int)
     const std::uint64_t st =
         co_await p.uncachedLoad(ctxReg(0, kRegSendStatus));
     if (st & 1) {
-        stats_.incr("send_full");
+        cSendFull_.incr();
         co_return false; // CDR busy: previous message not yet collected
     }
     // Write the message into the send CDR with ordinary cached stores;
@@ -60,7 +66,7 @@ Cni4::trySend(Proc &p, NetMsg msg, int)
     // because the device orders it behind the block writes it snooped,
     // and the next status read drains the buffer anyway.
     co_await p.uncachedStore(ctxReg(0, kRegSendCommit), 1);
-    stats_.incr("sends");
+    cSends_.incr();
     co_return true;
 }
 
@@ -70,7 +76,7 @@ Cni4::tryRecv(Proc &p, NetMsg &out, int)
     const std::uint64_t st =
         co_await p.uncachedLoad(ctxReg(0, kRegRecvStatus));
     if (!(st & 1)) {
-        stats_.incr("recv_empty_polls");
+        cRecvEmptyPolls_.incr();
         co_return false;
     }
     cni_assert(recvReady_ && !recvClearing_);
@@ -87,7 +93,7 @@ Cni4::tryRecv(Proc &p, NetMsg &out, int)
     // poll cannot bypass this pop.
     co_await p.uncachedStore(ctxReg(0, kRegRecvPop), 1);
     co_await p.membar();
-    stats_.incr("recvs");
+    cRecvs_.incr();
     co_return true;
 }
 
@@ -153,7 +159,7 @@ bool
 Cni4::netDeliver(const NetMsg &msg)
 {
     if (static_cast<int>(recvFifo_.size()) >= kCni4RecvFifoMsgs) {
-        stats_.incr("recv_refused");
+        cRecvRefused_.incr();
         return false;
     }
     recvFifo_.push_back(msg);
@@ -197,7 +203,7 @@ Cni4::pullSendCdr()
     // Coherent read: the processor cache supplies (M -> O).
     co_await devCache_.fetchBlock(a, false);
     ++sendBlocksPulled_;
-    stats_.incr("send_blocks_pulled");
+    cSendBlocksPulled_.incr();
     if (sendCommitted_ && sendBlocksPulled_ >= sendBlocksTotal_) {
         // Whole message collected: assemble and queue for injection.
         cni_assert(!stagedSend_.empty());
@@ -224,7 +230,7 @@ Cni4::clearRecvCdr()
         co_await devCache_.fetchBlock(a, true);
     }
     recvClearing_ = false;
-    stats_.incr("recv_clears");
+    cRecvClears_.incr();
     if (!recvFifo_.empty())
         presentNextRecv();
 }
@@ -244,7 +250,7 @@ Cni4::presentNextRecv()
                    recvCur_.payload.data(), recvCur_.payload.size());
     }
     recvReady_ = true;
-    stats_.incr("recv_presented");
+    cRecvPresented_.incr();
 }
 
 void

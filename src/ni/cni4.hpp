@@ -85,6 +85,16 @@ class Cni4 : public NetIface
     bool recvClearing_ = false; //!< pop handshake in progress
     NetMsg recvCur_;            //!< message currently in the CDR
     std::deque<NetMsg> recvFifo_;
+
+    // Pre-bound per-operation counters (sim/stats.hpp Counter contract).
+    StatSet::Counter cSendFull_;
+    StatSet::Counter cSends_;
+    StatSet::Counter cRecvEmptyPolls_;
+    StatSet::Counter cRecvs_;
+    StatSet::Counter cRecvRefused_;
+    StatSet::Counter cSendBlocksPulled_;
+    StatSet::Counter cRecvClears_;
+    StatSet::Counter cRecvPresented_;
 };
 
 } // namespace cni

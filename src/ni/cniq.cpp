@@ -58,7 +58,17 @@ CniqConfig::preset(const std::string &model)
 
 Cniq::Cniq(EventQueue &eq, NodeId node, CoherenceDomain &coh, Network &net,
            NodeMemory &mem, const std::string &name, CniqConfig cfg)
-    : NetIface(eq, node, coh, net, mem, name), cfg_(std::move(cfg))
+    : NetIface(eq, node, coh, net, mem, name), cfg_(std::move(cfg)),
+      cSendShadowRefreshes_(stats_, "send_shadow_refreshes"),
+      cSendFull_(stats_, "send_full"), cSends_(stats_, "sends"),
+      cRecvEmptyPolls_(stats_, "recv_empty_polls"),
+      cRecvHeadUpdates_(stats_, "recv_head_updates"),
+      cRecvs_(stats_, "recvs"),
+      cVirtualPollTriggers_(stats_, "virtual_poll_triggers"),
+      cRecvRefused_(stats_, "recv_refused"),
+      cRecvBlocksClaimed_(stats_, "recv_blocks_claimed"),
+      cRecvSlotsWritten_(stats_, "recv_slots_written"),
+      cSendBlocksPulled_(stats_, "send_blocks_pulled")
 {
     cni_assert(cfg_.sendQueueBlocks % kBlocksPerSlot == 0);
     cni_assert(cfg_.recvQueueBlocks % kBlocksPerSlot == 0);
@@ -198,11 +208,11 @@ Cniq::trySend(Proc &p, NetMsg msg, int ctx)
     if (!cfg_.lazySendHead ||
         slotsUsed() >= std::uint64_t(sendSlots())) {
         // Refresh the shadow from the device's head register.
-        stats_.incr("send_shadow_refreshes");
+        cSendShadowRefreshes_.incr();
         c.shadowHead = co_await p.uncachedLoad(ctxReg(ctx, kRegSendHead));
         co_await p.write64(stateAddr, c.shadowHead);
         if (slotsUsed() >= std::uint64_t(sendSlots())) {
-            stats_.incr("send_full");
+            cSendFull_.incr();
             co_return false;
         }
     }
@@ -223,7 +233,7 @@ Cniq::trySend(Proc &p, NetMsg msg, int ctx)
     co_await p.write64(stateAddr, c.tail);
     c.stagedSend.push_back(std::move(msg));
     co_await p.uncachedStore(ctxReg(ctx, kRegMsgReady), 1);
-    stats_.incr("sends");
+    cSends_.incr();
     co_return true;
 }
 
@@ -247,7 +257,7 @@ Cniq::tryRecv(Proc &p, NetMsg &out, int ctx)
         const std::uint64_t tail =
             co_await p.uncachedLoad(ctxReg(ctx, kRegRecvStatus));
         if (tail == c.head) {
-            stats_.incr("recv_empty_polls");
+            cRecvEmptyPolls_.incr();
             co_return false;
         }
     }
@@ -259,7 +269,7 @@ Cniq::tryRecv(Proc &p, NetMsg &out, int ctx)
     const std::uint64_t hdr = co_await p.read64(slot);
     const std::uint64_t want = senseOf(c.head, recvSlots());
     if (cfg_.msgValidBits && (hdr & 1) != want) {
-        stats_.incr("recv_empty_polls");
+        cRecvEmptyPolls_.incr();
         co_return false;
     }
 
@@ -286,10 +296,10 @@ Cniq::tryRecv(Proc &p, NetMsg &out, int ctx)
         std::max<std::uint64_t>(1, std::uint64_t(recvSlots()) / 2);
     if (c.consumedSinceUpdate >= period) {
         c.consumedSinceUpdate = 0;
-        stats_.incr("recv_head_updates");
+        cRecvHeadUpdates_.incr();
         co_await p.uncachedStore(ctxReg(ctx, kRegRecvHead), c.head);
     }
-    stats_.incr("recvs");
+    cRecvs_.incr();
     co_return true;
 }
 
@@ -354,7 +364,7 @@ Cniq::onBusTxn(const BusTxn &txn)
                     static_cast<int>((txn.addr - slotBase) / kBlockBytes);
                 if (blk > c.vpBlocksWritten) {
                     c.vpBlocksWritten = blk;
-                    stats_.incr("virtual_poll_triggers");
+                    cVirtualPollTriggers_.incr();
                     kick();
                 }
             }
@@ -383,7 +393,7 @@ Cniq::netDeliver(const NetMsg &msg)
     const std::uint64_t inQueue =
         c.devRecvTail - c.devRecvShadowHead + c.recvPending.size();
     if (inQueue >= std::uint64_t(recvSlots())) {
-        stats_.incr("recv_refused");
+        cRecvRefused_.incr();
         return false;
     }
     c.recvPending.push_back(msg);
@@ -444,7 +454,7 @@ Cniq::writeRecvSlot(int ctx)
         const Addr a = slot + Addr(b) * kBlockBytes;
         co_await busyFor(kNiEngineCycles);
         co_await recvCache_->claimBlock(a, /*deferWriteback=*/true);
-        stats_.incr("recv_blocks_claimed");
+        cRecvBlocksClaimed_.incr();
     }
 
     // Architectural data: header word (sense last in program order) and
@@ -458,7 +468,7 @@ Cniq::writeRecvSlot(int ctx)
 
     c.recvRing[c.devRecvTail % recvSlots()] = std::move(msg);
     c.devRecvTail += 1;
-    stats_.incr("recv_slots_written");
+    cRecvSlotsWritten_.incr();
 }
 
 CoTask<bool>
@@ -494,7 +504,7 @@ Cniq::sendWork(int ctx)
     // it was already flushed back to the device's home storage).
     co_await sendCache_->fetchBlock(a, false);
     c.pulledInSlot += 1;
-    stats_.incr("send_blocks_pulled");
+    cSendBlocksPulled_.incr();
 
     if (slotCommitted &&
         c.pulledInSlot >= static_cast<int>(blocksFor(wire))) {

@@ -142,6 +142,19 @@ class Cniq : public NetIface
     std::unique_ptr<Cache> sendCache_; //!< device coherence state, send CQs
     std::unique_ptr<Cache> recvCache_; //!< device coherence state, recv CQs
     int rrCtx_ = 0;                    //!< engine round-robin cursor
+
+    // Pre-bound per-operation counters (sim/stats.hpp Counter contract).
+    StatSet::Counter cSendShadowRefreshes_;
+    StatSet::Counter cSendFull_;
+    StatSet::Counter cSends_;
+    StatSet::Counter cRecvEmptyPolls_;
+    StatSet::Counter cRecvHeadUpdates_;
+    StatSet::Counter cRecvs_;
+    StatSet::Counter cVirtualPollTriggers_;
+    StatSet::Counter cRecvRefused_;
+    StatSet::Counter cRecvBlocksClaimed_;
+    StatSet::Counter cRecvSlotsWritten_;
+    StatSet::Counter cSendBlocksPulled_;
 };
 
 } // namespace cni

@@ -10,7 +10,9 @@ namespace cni
 NetIface::NetIface(EventQueue &eq, NodeId node, CoherenceDomain &coh,
                    Network &net, NodeMemory &mem, std::string name)
     : eq_(eq), node_(node), coh_(coh), net_(net), mem_(mem),
-      name_(std::move(name)), stats_(name_), kickCh_(eq), injectCh_(eq)
+      name_(std::move(name)), stats_(name_),
+      cWindowStalls_(stats_, "window_stalls"), cInjected_(stats_, "injected"),
+      kickCh_(eq), injectCh_(eq)
 {
     net_.attach(node, this);
 }
@@ -71,14 +73,14 @@ NetIface::injectLoop()
             }
             const NodeId dst = injectQ_.front().dst;
             if (!net_.canInject(node_, dst)) {
-                stats_.incr("window_stalls");
+                cWindowStalls_.incr();
                 co_await net_.windowChannel(node_).wait();
                 continue;
             }
             NetMsg msg = std::move(injectQ_.front());
             injectQ_.pop_front();
             co_await busyFor(kNiInjectCycles);
-            stats_.incr("injected");
+            cInjected_.incr();
             net_.inject(std::move(msg));
             // Backlog space freed: the engine may resume draining its
             // send queue (see kInjectBacklogLimit).

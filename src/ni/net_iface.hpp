@@ -137,6 +137,8 @@ class NetIface : public BusAgent, public NiPort
     NodeMemory &mem_;
     std::string name_;
     StatSet stats_;
+    StatSet::Counter cWindowStalls_;
+    StatSet::Counter cInjected_;
     int busId_ = -1; //!< our agent id on the NI bus
 
   private:

@@ -8,7 +8,10 @@ namespace cni
 
 Ni2w::Ni2w(EventQueue &eq, NodeId node, CoherenceDomain &coh, Network &net,
            NodeMemory &mem, const std::string &name)
-    : NetIface(eq, node, coh, net, mem, name)
+    : NetIface(eq, node, coh, net, mem, name),
+      cSendFull_(stats_, "send_full"), cSends_(stats_, "sends"),
+      cRecvEmptyPolls_(stats_, "recv_empty_polls"),
+      cRecvs_(stats_, "recvs"), cRecvRefused_(stats_, "recv_refused")
 {
 }
 
@@ -29,7 +32,7 @@ Ni2w::trySend(Proc &p, NetMsg msg, int)
     // Check for space in the hardware send queue.
     const std::uint64_t st = co_await p.uncachedLoad(ctxReg(0, kRegStatus));
     if (!(st & 1)) {
-        stats_.incr("send_full");
+        cSendFull_.incr();
         co_return false;
     }
     // Write the message, one uncached 8-byte store per word (header word
@@ -42,7 +45,7 @@ Ni2w::trySend(Proc &p, NetMsg msg, int)
     // into the hardware FIFO (FIFO order matches the store buffer's).
     staged_.push_back(std::move(msg));
     co_await p.uncachedStore(ctxReg(0, kRegSendCommit), 1);
-    stats_.incr("sends");
+    cSends_.incr();
     co_return true;
 }
 
@@ -51,7 +54,7 @@ Ni2w::tryRecv(Proc &p, NetMsg &out, int)
 {
     const std::uint64_t st = co_await p.uncachedLoad(ctxReg(0, kRegStatus));
     if (!(st & 2)) {
-        stats_.incr("recv_empty_polls");
+        cRecvEmptyPolls_.incr();
         co_return false;
     }
     cni_assert(!recvFifo_.empty());
@@ -62,7 +65,7 @@ Ni2w::tryRecv(Proc &p, NetMsg &out, int)
         co_await p.uncachedLoad(ctxReg(0, kRegRecvData));
     out = std::move(recvFifo_.front());
     recvFifo_.pop_front();
-    stats_.incr("recvs");
+    cRecvs_.incr();
     co_return true;
 }
 
@@ -99,7 +102,7 @@ bool
 Ni2w::netDeliver(const NetMsg &msg)
 {
     if (static_cast<int>(recvFifo_.size()) >= kNi2wRecvFifoMsgs) {
-        stats_.incr("recv_refused");
+        cRecvRefused_.incr();
         return false;
     }
     recvFifo_.push_back(msg);

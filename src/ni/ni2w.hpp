@@ -54,6 +54,13 @@ class Ni2w : public NetIface
     std::deque<NetMsg> recvFifo_; //!< accepted incoming
     std::deque<NetMsg> staged_;   //!< committed by driver, awaiting the
                                   //!< SEND_COMMIT store to reach the device
+
+    // Pre-bound per-operation counters (sim/stats.hpp Counter contract).
+    StatSet::Counter cSendFull_;
+    StatSet::Counter cSends_;
+    StatSet::Counter cRecvEmptyPolls_;
+    StatSet::Counter cRecvs_;
+    StatSet::Counter cRecvRefused_;
 };
 
 } // namespace cni

@@ -5,7 +5,10 @@ namespace cni
 
 Proc::Proc(EventQueue &eq, NodeId id, CoherenceDomain &coh, NodeMemory &mem,
            const std::string &name)
-    : eq_(eq), id_(id), coh_(coh), mem_(mem), stats_(name)
+    : eq_(eq), id_(id), coh_(coh), mem_(mem), stats_(name),
+      cUncachedLoads_(stats_, "uncached_loads"),
+      cUncachedStores_(stats_, "uncached_stores"),
+      cMembars_(stats_, "membars")
 {
     cache_ = std::make_unique<Cache>(eq, name + ".cache", kProcCacheBlocks,
                                      Initiator::Processor);
@@ -77,7 +80,7 @@ Proc::write32(Addr a, std::uint32_t v)
 CoTask<std::uint64_t>
 Proc::uncachedLoad(Addr a)
 {
-    stats_.incr("uncached_loads");
+    cUncachedLoads_.incr();
     // Device space is strongly ordered: an uncached load may not bypass
     // earlier uncached stores still sitting in the store buffer.
     co_await stb_->drain();
@@ -95,14 +98,14 @@ Proc::uncachedLoad(Addr a)
 CoTask<void>
 Proc::uncachedStore(Addr a, std::uint64_t v)
 {
-    stats_.incr("uncached_stores");
+    cUncachedStores_.incr();
     co_await stb_->push(a, v);
 }
 
 CoTask<void>
 Proc::membar()
 {
-    stats_.incr("membars");
+    cMembars_.incr();
     co_await stb_->drain();
 }
 

@@ -85,6 +85,9 @@ class Proc
     std::unique_ptr<Cache> cache_;
     std::unique_ptr<StoreBuffer> stb_;
     StatSet stats_;
+    StatSet::Counter cUncachedLoads_;
+    StatSet::Counter cUncachedStores_;
+    StatSet::Counter cMembars_;
 };
 
 } // namespace cni

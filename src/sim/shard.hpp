@@ -25,9 +25,8 @@
 #ifndef CNI_SIM_SHARD_HPP
 #define CNI_SIM_SHARD_HPP
 
-#include <functional>
-
 #include "sim/event_queue.hpp"
+#include "sim/inline_fn.hpp"
 #include "sim/types.hpp"
 
 namespace cni
@@ -39,9 +38,11 @@ class ShardHost
     /**
      * Executed serially at the next window barrier; `windowEnd` is the
      * first tick of the next window — the earliest tick any scheduled
-     * work may target.
+     * work may target. Small-buffer (sim/inline_fn.hpp): the fabric
+     * posts one of these per injected message, and a NetMsg-capturing
+     * closure must not heap-allocate.
      */
-    using BarrierFn = std::function<void(Tick windowEnd)>;
+    using BarrierFn = InlineFn<void(Tick), kEventCallbackBytes>;
 
     virtual ~ShardHost() = default;
 

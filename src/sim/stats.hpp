@@ -84,6 +84,69 @@ class StatSet
 
     const std::string &name() const { return name_; }
 
+    /**
+     * Pre-bound counter handle for hot instrumentation points.
+     *
+     * incr(key) builds a std::string temporary and walks a string-keyed
+     * map on every call — a heap allocation plus several string compares
+     * per simulated event on the busiest paths. A Counter is constructed
+     * once (component constructor) and bumps a cached map-slot pointer
+     * thereafter.
+     *
+     * Binding is lazy, on the first incr: a never-touched counter must
+     * not appear in reports (lookup-created zero entries would change
+     * report bytes). Map nodes are address-stable, so the cached pointer
+     * stays valid for the StatSet's lifetime; StatSet::reset() is the
+     * one operation that invalidates handles (no simulation uses it —
+     * it exists for external tooling).
+     */
+    class Counter
+    {
+      public:
+        Counter() = default;
+        Counter(StatSet &set, std::string key)
+            : set_(&set), key_(std::move(key))
+        {
+        }
+
+        void
+        incr(std::uint64_t v = 1)
+        {
+            if (slot_ == nullptr)
+                slot_ = &set_->counters_[key_];
+            *slot_ += v;
+        }
+
+      private:
+        StatSet *set_ = nullptr;
+        std::string key_;
+        std::uint64_t *slot_ = nullptr;
+    };
+
+    /** Pre-bound scalar handle; same lazy-bind contract as Counter. */
+    class ScalarHandle
+    {
+      public:
+        ScalarHandle() = default;
+        ScalarHandle(StatSet &set, std::string key)
+            : set_(&set), key_(std::move(key))
+        {
+        }
+
+        void
+        sample(double v)
+        {
+            if (slot_ == nullptr)
+                slot_ = &set_->scalars_[key_];
+            slot_->sample(v);
+        }
+
+      private:
+        StatSet *set_ = nullptr;
+        std::string key_;
+        Scalar *slot_ = nullptr;
+    };
+
     /** Add `v` (default 1) to the named counter. */
     void incr(const std::string &key, std::uint64_t v = 1)
     {
