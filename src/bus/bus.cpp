@@ -35,6 +35,8 @@ toString(TxnKind k)
         return "Upgrade";
       case TxnKind::Writeback:
         return "Writeback";
+      case TxnKind::Update:
+        return "Update";
     }
     return "?";
 }
@@ -44,7 +46,7 @@ SnoopBus::SnoopBus(EventQueue &eq, std::string name, BusKind kind)
       spec_(BusTimingSpec::forKind(kind)), stats_(name_),
       cTxns_(stats_, "txns"), cOccupancyCycles_(stats_, "occupancy_cycles")
 {
-    for (int k = 0; k < 6; ++k) {
+    for (int k = 0; k < 7; ++k) {
         cTxnKind_[k] = StatSet::Counter(
             stats_, std::string("txn_") + toString(static_cast<TxnKind>(k)));
     }
@@ -175,6 +177,9 @@ SnoopBus::occupancyFor(const BusTxn &txn, const SnoopResult &res) const
         return spec_.uncachedWrite;
       case TxnKind::Upgrade:
         return spec_.addressOnly;
+      case TxnKind::Update:
+        // Word update: address + one word, uncached-write-sized.
+        return spec_.uncachedWrite;
       case TxnKind::Writeback:
         // Block transfer toward the home: direction follows the writer.
         return txn.initiator == Initiator::Processor ? spec_.blockFromProc

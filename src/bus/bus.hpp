@@ -38,6 +38,7 @@ enum class TxnKind
     ReadExclusive, //!< coherent read-to-own (store miss)
     Upgrade,       //!< address-only invalidation (store to S/O copy)
     Writeback,     //!< dirty block written back to its home
+    Update,        //!< word update pushed to sharers (dragon/hybrid)
 };
 
 const char *toString(TxnKind k);
@@ -71,6 +72,13 @@ struct SnoopReply
     bool supplied = false; //!< was owner and supplies the data
     bool isHome = false;   //!< is the home for this address
     bool transferOwnership = false; //!< supplier passes dirty ownership
+    /**
+     * The agent held the line but chose to self-invalidate instead of
+     * installing the pushed value (hybrid backends: the line's useless-
+     * update counter saturated). `hadCopy` stays false so the home drops
+     * the agent from the sharer set.
+     */
+    bool invalidatedOnUpdate = false;
     std::uint64_t data = 0; //!< register value for uncached reads
 };
 
@@ -90,6 +98,12 @@ struct SnoopResult
      * atomic.
      */
     bool upgradeFilled = false;
+    /**
+     * Update-protocol write completion: other agents still hold valid
+     * copies (they absorbed the pushed value), so the writer installs
+     * Owned (Sm), not Modified. Invalidation backends never set this.
+     */
+    bool sharersRemain = false;
     std::uint64_t data = 0;     //!< uncached read data
 };
 
@@ -187,7 +201,7 @@ class SnoopBus
     StatSet stats_;
     StatSet::Counter cTxns_;
     StatSet::Counter cOccupancyCycles_;
-    StatSet::Counter cTxnKind_[6]; //!< per-TxnKind, indexed by enum value
+    StatSet::Counter cTxnKind_[7]; //!< per-TxnKind, indexed by enum value
 };
 
 } // namespace cni

@@ -645,20 +645,28 @@ DirectoryFabric::processHome(const CohWire &w, NodeId from)
         // home collects the owner's ack plus the requester's FwdDone.
         // Multi-sharer invalidations still gather at the home — the
         // requester must not proceed before every sharer acked.
+        // Under an update protocol the sharers keep their copies, so
+        // the 3-hop shortcut (owner supplies, then invalidates itself)
+        // does not apply: a dirty owner's value returns through its ack
+        // and the home grants, 4-hop style.
         t.threeHop = cfg_.hops == 3 && req.op == Op::GetM &&
                      targets.size() == 1 && e.owner >= 0 &&
-                     *targets.begin() == e.owner;
+                     *targets.begin() == e.owner && !updateProtocol();
         t.pendingAcks = int(targets.size()) +
                         (t.threeHop && !testSkipFwdDoneHold ? 1 : 0);
         // GetM (and converted-Upgrade) probes apply ReadExclusive (a
         // dirty owner supplies); true Upgrade probes apply the
         // address-only invalidation, exactly like the corresponding bus
-        // broadcasts.
-        const TxnKind probeKind = req.op == Op::GetM || converted
-                                      ? TxnKind::ReadExclusive
-                                      : TxnKind::Upgrade;
+        // broadcasts. Update protocols push the written value instead:
+        // every probe becomes a word update the sharer absorbs (a dirty
+        // owner still supplies its pre-update block through the ack).
+        const TxnKind probeKind =
+            updateProtocol() ? TxnKind::Update
+                             : (req.op == Op::GetM || converted
+                                    ? TxnKind::ReadExclusive
+                                    : TxnKind::Upgrade);
         for (int target : targets) {
-            stats_.incr("invs");
+            stats_.incr(updateProtocol() ? "updates_sent" : "invs");
             CohWire probe{};
             probe.op = Op::Inv;
             probe.kind = std::uint8_t(probeKind);
@@ -668,6 +676,8 @@ DirectoryFabric::processHome(const CohWire &w, NodeId from)
             probe.aux = req.agent;
             probe.reqId = req.reqId;
             probe.addr = blk;
+            if (updateProtocol())
+                probe.data = req.data; // the pushed word value
             sendWire(nodeOf(target), probe, /*carriesBlock=*/false);
         }
         return;
@@ -691,6 +701,22 @@ DirectoryFabric::homeAck(const CohWire &w, NodeId from)
     if ((w.op == Op::FwdAck || w.op == Op::InvAck) &&
         w.agent == t.probedOwner) {
         t.ownerHadCopy = w.flags & kHadCopy;
+    }
+    if (updateProtocol() && !t.recall && w.op == Op::InvAck &&
+        !(w.flags & kHadCopy)) {
+        // The pushed update found no live copy: the sharer had silently
+        // evicted the line, or (hybrid) its useless-update counter
+        // saturated and it self-invalidated instead of absorbing the
+        // value. Either way the update was wasted — drop the agent from
+        // the directory now so the final grant's kSharersRemain and the
+        // keep-set in finishExclusive reflect who actually holds data.
+        stats_.incr("useless_updates");
+        auto dit = dir_.find(w.addr);
+        if (dit != dir_.end()) {
+            dit->second.sharers.erase(w.agent);
+            if (dit->second.owner == w.agent)
+                dit->second.owner = -1;
+        }
     }
     int acked = 1;
     if (t.threeHop && (w.op == Op::FwdAck || w.op == Op::InvAck)) {
@@ -900,8 +926,24 @@ DirectoryFabric::finishExclusive(Addr blk, const CohWire &req, NodeId from,
     const bool supplied = gathered & kSupplied;
     const bool hadCopy = gathered & kHadCopy;
     const bool converted = req.flags & kConverted;
-    e.owner = req.agent;
-    e.sharers.clear();
+    bool sharersRemain = false;
+    if (updateProtocol()) {
+        // Every sharer still listed absorbed the pushed value (homeAck
+        // dropped the ones that did not); they keep their Sc copies. A
+        // previous dirty owner was demoted to a sharer by the update
+        // probe. The writer becomes the owner — Sm over live sharers,
+        // plain M when the update round left nobody holding a copy.
+        e.sharers.erase(req.agent);
+        if (e.owner == req.agent)
+            e.owner = -1;
+        sharersRemain = e.owner >= 0 || !e.sharers.empty();
+        if (e.owner >= 0)
+            e.sharers.insert(e.owner);
+        e.owner = req.agent;
+    } else {
+        e.owner = req.agent;
+        e.sharers.clear();
+    }
 
     if (req.op == Op::GetM || converted) {
         if (supplied)
@@ -921,6 +963,8 @@ DirectoryFabric::finishExclusive(Addr blk, const CohWire &req, NodeId from,
         grant.flags |= kSharedCopy;
     if (converted)
         grant.flags |= kConverted;
+    if (sharersRemain)
+        grant.flags |= kSharersRemain;
 
     // An upgrade is address-only — unless the home converted it to a
     // GetM; then, like a GetM without a cache supplier, the home pulls
@@ -999,6 +1043,13 @@ DirectoryFabric::peerApply(const CohWire &w, NodeId home)
     stats_.incr(w.op == Op::Fwd ? "probes_fwd" : "probes_inv");
     const SnoopReply r =
         agents_[slot]->onBusTxn(reconstructTxn(w, TxnKind(w.kind)));
+    if (r.invalidatedOnUpdate) {
+        // Hybrid adaptation: this agent's useless-update counter
+        // saturated, so it flipped the line from update mode to
+        // invalidate mode (self-invalidated; its hadCopy=false ack
+        // makes the home drop it from the sharer set).
+        stats_.incr("mode_flips");
+    }
 
     CohWire ack{};
     ack.op = w.op == Op::Fwd ? Op::FwdAck : Op::InvAck;
@@ -1071,6 +1122,7 @@ DirectoryFabric::complete(const CohWire &w)
     res.sharedCopy = w.flags & kSharedCopy;
     res.ownershipTransferred = w.flags & kTransferOwner;
     res.upgradeFilled = w.flags & kConverted;
+    res.sharersRemain = w.flags & kSharersRemain;
     res.data = w.data;
 
     // A data-carrying grant fills the line over the requester's port.

@@ -82,7 +82,7 @@
 namespace cni
 {
 
-class DirectoryFabric final : public CoherenceDomain, public NiPort
+class DirectoryFabric : public CoherenceDomain, public NiPort
 {
   public:
     DirectoryFabric(EventQueue &eq, NodeId node, int numNodes,
@@ -139,6 +139,18 @@ class DirectoryFabric final : public CoherenceDomain, public NiPort
      */
     static bool testSkipFwdDoneHold;
 
+  protected:
+    /**
+     * Update-protocol hook (the "dragon"/"hybrid" subclasses return
+     * true): exclusive requests (GetM/Upgrade) push the written value
+     * to sharers as word updates instead of invalidating them. Sharers
+     * that absorbed the value stay in the directory and the grant tells
+     * the writer to install Owned (Sm) instead of Modified. With the
+     * default false, every code path below is byte-identical to the
+     * plain invalidation directory.
+     */
+    virtual bool updateProtocol() const { return false; }
+
   private:
     // Two caching agents per node take part in the protocol.
     static constexpr int kCacheSlot = 0; //!< processor cache
@@ -187,6 +199,11 @@ class DirectoryFabric final : public CoherenceDomain, public NiPort
      * knows to install the data.
      */
     static constexpr std::uint8_t kConverted = 1 << 6;
+    /**
+     * Update-protocol grant: sharers absorbed the pushed value and keep
+     * valid copies, so the writer installs Owned (Sm), not Modified.
+     */
+    static constexpr std::uint8_t kSharersRemain = 1 << 7;
 
     /** The protocol message, memcpy'd into the NetMsg payload. */
     struct CohWire

@@ -85,6 +85,8 @@ CoherenceRegistry::instance()
         auto *r = new CoherenceRegistry();
         detail::registerSnoopDomain(*r);
         detail::registerDirectoryDomain(*r);
+        detail::registerDragonDomain(*r);
+        detail::registerHybridDomain(*r);
         return r;
     }();
     return *reg;

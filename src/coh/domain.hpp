@@ -82,6 +82,16 @@ struct DirParams
      * traversal less on every cache-to-cache miss.
      */
     int hops = 4;
+
+    /**
+     * Adaptive update/invalidate backends only ("hybrid", traits
+     * `adaptiveUpdate`): a sharer that receives this many consecutive
+     * updates without reading the line self-invalidates, flipping the
+     * line from update mode to invalidate mode for that sharer. Reads
+     * reset the per-line counter. Pure update backends ("dragon") never
+     * flip regardless of this knob.
+     */
+    int updThreshold = 4;
 };
 
 /**
@@ -235,6 +245,18 @@ struct CoherenceTraits
      * StatSets, and legacy reports must stay byte-identical.
      */
     bool reportSection = false;
+    /**
+     * Writes to shared lines push word updates to sharers instead of
+     * invalidating them (dragon/hybrid). Requester caches must enable
+     * their update-install path (Cache::setUpdateThreshold).
+     */
+    bool updateProtocol = false;
+    /**
+     * The backend consumes DirParams::updThreshold to adapt per line
+     * between update and invalidate. The builder rejects a non-default
+     * --hybrid-threshold on backends without it.
+     */
+    bool adaptiveUpdate = false;
 };
 
 /** Everything a factory needs to construct one node's domain. */
@@ -284,6 +306,8 @@ namespace detail
 // them.
 void registerSnoopDomain(CoherenceRegistry &r);
 void registerDirectoryDomain(CoherenceRegistry &r);
+void registerDragonDomain(CoherenceRegistry &r);
+void registerHybridDomain(CoherenceRegistry &r);
 } // namespace detail
 
 } // namespace cni

@@ -1,0 +1,37 @@
+#include "coh/dragon.hpp"
+
+namespace cni
+{
+
+DragonFabric::DragonFabric(EventQueue &eq, NodeId node, int numNodes,
+                           Interconnect &net, const std::string &name,
+                           const DirParams &dir)
+    : DirectoryFabric(eq, node, numNodes, net, name, dir)
+{
+    // Update backends always report their update counters — explicit
+    // zeros instead of missing keys, like the sparse recall counters.
+    stats().incr("updates_sent", 0);
+    stats().incr("useless_updates", 0);
+    stats().incr("mode_flips", 0); // pure update: stays 0 by design
+}
+
+void
+detail::registerDragonDomain(CoherenceRegistry &r)
+{
+    CoherenceTraits t;
+    t.snooping = false;
+    t.maxBusAgents = 0;
+    t.overFabric = true;
+    t.supportsIoPlacement = false;
+    t.supportsCachePlacement = false;
+    t.supportsSnarfing = false;
+    t.directoryGeometry = true; // same sparse/hop knobs as directory
+    t.reportSection = true;
+    t.updateProtocol = true;
+    r.register_("dragon", t, [](const CohBuildContext &c) {
+        return std::make_unique<DragonFabric>(c.eq, c.node, c.numNodes,
+                                              c.net, c.name, c.dir);
+    });
+}
+
+} // namespace cni

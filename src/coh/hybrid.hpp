@@ -1,0 +1,50 @@
+/**
+ * @file
+ * "hybrid" — per-line adaptive update/invalidate directory coherence.
+ *
+ * Dragon-style updates (coh/dragon.hpp) win when sharers read what the
+ * writer pushes and lose when they do not (migratory sharing: every
+ * write pays an update round trip nobody reads). The hybrid backend
+ * adapts per line, per sharer: each cache line carries a saturating
+ * useless-update counter — an absorbed update increments it, a read
+ * hit resets it — and when it reaches DirParams::updThreshold
+ * (--hybrid-threshold) the sharer *self-invalidates* instead of
+ * absorbing the next update. Its "no copy" ack drops it from the
+ * directory (counted in `mode_flips` at the sharer, `useless_updates`
+ * at the home), so the line flips to invalidate mode for that sharer:
+ * once every idle sharer has dropped off, the writer's grant loses
+ * kSharersRemain, it installs plain Modified, and subsequent writes
+ * are silent cache hits — exactly the invalidation protocol's
+ * migratory behaviour. A sharer that starts reading again re-registers
+ * through an ordinary GetS and the line is back in update mode.
+ *
+ * The fabric side is identical to dragon (the decision lives in the
+ * sharer's cache, Cache::setUpdateThreshold); this subclass
+ * exists to carry the name and the adaptiveUpdate trait that unlocks
+ * the threshold knob.
+ */
+
+#ifndef CNI_COH_HYBRID_HPP
+#define CNI_COH_HYBRID_HPP
+
+#include "coh/directory.hpp"
+
+namespace cni
+{
+
+class HybridFabric : public DirectoryFabric
+{
+  public:
+    HybridFabric(EventQueue &eq, NodeId node, int numNodes,
+                 Interconnect &net, const std::string &name,
+                 const DirParams &dir = DirParams{});
+
+    const char *kind() const override { return "hybrid"; }
+
+  protected:
+    bool updateProtocol() const override { return true; }
+};
+
+} // namespace cni
+
+#endif // CNI_COH_HYBRID_HPP

@@ -73,6 +73,10 @@ MachineSpec::label() const
     }
     if (dir.hops == 3)
         s += "+3hop";
+    const CoherenceTraits *ct =
+        CoherenceRegistry::instance().traits(coherence);
+    if (ct && ct->adaptiveUpdate)
+        s += "+thr" + std::to_string(dir.updThreshold);
     return s;
 }
 
@@ -143,6 +147,17 @@ MachineSpec::valid(std::string *why) const
         return fail("dirEntries/dirAssoc/dirHops configure a directory's "
                     "geometry: backend '" + coherence +
                     "' has no directory for them to shape");
+    }
+    if (dir.updThreshold < 1) {
+        return fail("hybridThreshold must be >= 1 (sharers need at least "
+                    "one unread update before flipping)");
+    }
+    if (dir.updThreshold != DirParams{}.updThreshold &&
+        !coh->adaptiveUpdate) {
+        return fail("hybridThreshold tunes the adaptive update backend's "
+                    "flip point: backend '" + coherence +
+                    "' never flips, so the knob would be silently "
+                    "ignored (pick --coherence hybrid)");
     }
     if (coh->snooping && coh->maxBusAgents > 0 &&
         kCohAgentsPerNode > coh->maxBusAgents) {
@@ -298,6 +313,13 @@ Machine::Machine(MachineSpec spec) : spec_(std::move(spec))
                                             *node->mem, name + ".proc");
         if (spec_.snarfing)
             node->proc->cache().setSnarfing(true);
+        {
+            const CoherenceTraits *ct =
+                CoherenceRegistry::instance().traits(spec_.coherence);
+            if (ct && ct->adaptiveUpdate)
+                node->proc->cache().setUpdateThreshold(
+                    spec_.dir.updThreshold);
+        }
 
         NiBuildContext ctx{neq,
                            id,
@@ -484,6 +506,10 @@ Machine::report() const
             w.key("dir_assoc").value(spec_.dir.assoc);
             w.key("dir_hops").value(spec_.dir.hops);
         }
+        // Key present only for adaptive backends: plain-directory (and
+        // dragon) reports stay byte-identical to previous releases.
+        if (ct->adaptiveUpdate)
+            w.key("hybrid_threshold").value(spec_.dir.updThreshold);
         w.key("nodes").beginArray();
         for (NodeId id = 0; id < spec_.numNodes; ++id) {
             w.beginObject();

@@ -189,6 +189,19 @@ class MachineBuilder
         return *this;
     }
 
+    /**
+     * Adaptive update→invalidate flip point (backends with the
+     * adaptiveUpdate trait, i.e. "hybrid"): a sharer self-invalidates
+     * after this many consecutive unread updates. See
+     * DirParams::updThreshold.
+     */
+    MachineBuilder &
+    hybridThreshold(int t)
+    {
+        spec_.dir.updThreshold = t;
+        return *this;
+    }
+
     // Interconnect ----------------------------------------------------------
 
     /** Interconnect model by NetRegistry name: ideal|mesh|torus|xbar. */

@@ -28,6 +28,8 @@ actName(int a)
         return "drop";
       case McChecker::kWriteback:
         return "writeback";
+      case McChecker::kTouch:
+        return "touch";
     }
     return "?";
 }
@@ -96,6 +98,30 @@ struct McChecker::CacheMirror final : BusAgent
             reply.hadCopy = true;
             ln.st = St::I;
             return reply;
+          case TxnKind::Update: {
+            // Mirror of the real cache's update-install path. The
+            // threshold is armed only on the processor-cache slot,
+            // exactly like Machine (device caches never flip).
+            if (ln.st == St::I)
+                return reply; // silently evicted; home drops us
+            const int thr = slot == kCacheSlot ? rig->mirrThr_ : 0;
+            if (thr > 0 && int(ln.unread) >= thr) {
+                ln.st = St::I;
+                ln.unread = 0;
+                reply.invalidatedOnUpdate = true;
+                return reply;
+            }
+            reply.hadCopy = true;
+            if (ln.st == St::M || ln.st == St::O) {
+                reply.supplied = true;
+                reply.data = ln.val; // pre-update copy, freshest there is
+            }
+            ln.st = St::S;
+            ln.val = txn.data; // absorb the pushed word
+            if (ln.unread < 255)
+                ++ln.unread;
+            return reply;
+          }
           case TxnKind::Writeback:
             return reply;
         }
@@ -185,6 +211,8 @@ McChecker::McChecker(const McConfig &cfg)
     const CoherenceTraits *traits =
         CoherenceRegistry::instance().traits(cfg_.backend);
     cni_assert(traits != nullptr);
+    updateProtocol_ = traits->updateProtocol;
+    mirrThr_ = traits->adaptiveUpdate ? cfg_.dir.updThreshold : 0;
 
     for (NodeId n = 0; n < cfg_.nodes; ++n) {
         CohBuildContext ctx{eq_,
@@ -340,6 +368,21 @@ McChecker::fail(const std::string &what)
     violations_.push_back(what);
 }
 
+bool
+McChecker::valCurrentOrPending(int block, std::uint64_t v) const
+{
+    if (v == current_[std::size_t(block)])
+        return true;
+    if (!updateProtocol_)
+        return false;
+    for (const AgentModel &ag : agents_) {
+        if (ag.outstanding && ag.actBlock == block &&
+            Act(ag.actKind) == kWrite && ag.wrVal == v)
+            return true;
+    }
+    return false;
+}
+
 void
 McChecker::drainUntagged()
 {
@@ -384,6 +427,10 @@ McChecker::enumerate() const
                     add(kDrop);
                 if (st == St::O || st == St::M)
                     add(kWriteback);
+                if (mirrThr_ > 0 && slot == kCacheSlot &&
+                    st == St::S &&
+                    ag.lines[std::size_t(j)].unread > 0)
+                    add(kTouch);
             }
         }
     }
@@ -414,6 +461,9 @@ McChecker::canApply(const McStep &s) const
         return st == St::S || st == St::E;
       case kWriteback:
         return st == St::O || st == St::M;
+      case kTouch:
+        return mirrThr_ > 0 && s.slot == kCacheSlot && st == St::S &&
+               ag.lines[std::size_t(s.block)].unread > 0;
     }
     return false;
 }
@@ -467,6 +517,12 @@ McChecker::applyAction(const McStep &s)
         cni_assert(ln.st == St::O || ln.st == St::M);
         kind = TxnKind::Writeback;
         break;
+      case kTouch:
+        // Load hit on an updated Shared line: no transaction, just the
+        // counter reset the real cache performs in load().
+        cni_assert(ln.st == St::S && ln.unread > 0);
+        ln.unread = 0;
+        return;
       default:
         cni_assert(!"bad action");
         return;
@@ -484,6 +540,12 @@ McChecker::applyAction(const McStep &s)
         // issue time; the value rides the transaction.
         t.data = ln.val;
         ln.st = St::I;
+    }
+    if (updateProtocol_ && Act(s.act) == kWrite) {
+        // The written word rides the request so the home's Update probes
+        // can push it to the sharers. Gated: plain-directory Pending
+        // encodings (and thus fingerprints) must stay byte-identical.
+        t.data = wrVal;
     }
 
     ag.outstanding = true;
@@ -527,7 +589,7 @@ McChecker::onComplete(NodeId n, int slot, int block, int kind,
 
     switch (Act(kind)) {
       case kRead:
-        if (r.data != current_[std::size_t(block)]) {
+        if (!valCurrentOrPending(block, r.data)) {
             fail(who + ": read filled a stale value (data-value "
                        "invariant)");
         }
@@ -539,26 +601,32 @@ McChecker::onComplete(NodeId n, int slot, int block, int kind,
         else
             ln.st = St::E;
         ln.val = r.data;
+        ln.unread = 0;
         return;
       case kWrite:
         if (txn == TxnKind::ReadExclusive) {
-            if (r.data != current_[std::size_t(block)])
+            if (!valCurrentOrPending(block, r.data))
                 fail(who + ": read-to-own filled a stale value");
         } else if (ln.st != St::I) {
             // Permission-only upgrade: the retained copy must still be
-            // the latest committed value.
-            if (ln.val != current_[std::size_t(block)])
+            // the latest committed value (or, on an update backend, a
+            // pushed word from a write still in flight).
+            if (!valCurrentOrPending(block, ln.val))
                 fail(who + ": upgrade granted over a stale copy");
         } else if (r.upgradeFilled) {
-            if (r.data != current_[std::size_t(block)])
+            if (!valCurrentOrPending(block, r.data))
                 fail(who + ": converted upgrade filled a stale value");
         } else {
             fail(who + ": upgrade completed on an invalidated line "
                        "without a data fill");
             return;
         }
-        ln.st = St::M;
+        // An update backend's grant says whether sharers absorbed the
+        // pushed word and stayed: install Sm (Owned) then, Modified
+        // otherwise — mirror of Cache::store.
+        ln.st = r.sharersRemain ? St::O : St::M;
         ln.val = wrVal;
+        ln.unread = 0;
         current_[std::size_t(block)] = wrVal;
         return;
       case kWriteback:
@@ -586,7 +654,7 @@ McChecker::checkInvariants()
                 ++dirtyOrExclusive;
             if (ln.st == St::M || ln.st == St::E)
                 ++exclusive;
-            if (ln.val != current_[std::size_t(j)]) {
+            if (!valCurrentOrPending(j, ln.val)) {
                 fail("block " + std::to_string(j) +
                      ": a valid copy holds a stale value (SWMR/value)");
             }
@@ -677,6 +745,12 @@ McChecker::encodeState(McEncoder &enc, const std::vector<int> &perm,
                 const Line &ln = ag.lines[std::size_t(j)];
                 enc.u8(std::uint8_t(ln.st));
                 enc.token(ln.st == St::I ? 0 : ln.val);
+                // Counter emitted only when it can influence behaviour
+                // (legacy fingerprints stay byte-identical), normalized
+                // to 0 on Invalid lines — every install resets it, so a
+                // stale value there is unobservable.
+                if (mirrThr_ > 0)
+                    enc.u8(ln.st == St::I ? 0 : ln.unread);
             }
             if (ag.outstanding) {
                 enc.u8(std::uint8_t(ag.actKind) + 1);
@@ -954,6 +1028,7 @@ McChecker::writeJson(const McConfig &cfg, const McResult &res,
        << ",\n  \"dir_entries\": " << cfg.dir.entries
        << ",\n  \"dir_assoc\": " << cfg.dir.assoc
        << ",\n  \"dir_hops\": " << cfg.dir.hops
+       << ",\n  \"hybrid_threshold\": " << cfg.dir.updThreshold
        << ",\n  \"seed_bug\": " << (cfg.seedBug ? "true" : "false")
        << ",\n  \"visited\": " << res.visited
        << ",\n  \"transitions\": " << res.transitions

@@ -125,6 +125,14 @@ class McChecker
         kWrite,     //!< store — GetM from I, Upgrade from S/O, silent E/M
         kDrop,      //!< silent clean eviction — from S/E
         kWriteback, //!< dirty eviction (WB + data) — from O/M
+        /**
+         * Load hit on a Shared line — no transaction, but under the
+         * adaptive update backend it resets the line's useless-update
+         * counter, so the explorer must be able to interleave it with
+         * incoming updates. Enumerated only when it changes state
+         * (hybrid threshold armed, counter nonzero).
+         */
+        kTouch,
     };
 
     explicit McChecker(const McConfig &cfg);
@@ -174,6 +182,8 @@ class McChecker
     {
         St st = St::I;
         std::uint64_t val = 0; //!< value token this copy holds
+        /** Mirror of Cache::Line::unreadUpdates (update backends). */
+        std::uint8_t unread = 0;
     };
 
     /** Protocol-visible model state of one driven mirror agent. */
@@ -231,6 +241,15 @@ class McChecker
     std::uint64_t freshToken() { return nextToken_++; }
     void fail(const std::string &what);
 
+    /**
+     * Data-value predicate. Invalidation backends demand the exact last
+     * committed value. Update backends push the written word to sharers
+     * *before* the writer's grant commits it, so mid-flight a valid copy
+     * may legitimately hold the value of any outstanding write to the
+     * block — membership in {current} ∪ {pending write tokens}.
+     */
+    bool valCurrentOrPending(int block, std::uint64_t v) const;
+
     // The stable-point step machine.
     void drainUntagged();
     std::vector<McStep> enumerate() const;
@@ -262,6 +281,9 @@ class McChecker
     std::vector<int> requesterIds_; //!< per (node, slot) attach id
     DriveChooser chooser_;
     bool armedSeedBug_ = false;
+    bool updateProtocol_ = false; //!< backend pushes updates (traits)
+    /** Hybrid flip point for the cache-slot mirrors; 0 = never flip. */
+    int mirrThr_ = 0;
 
     // Model state (snapshotted).
     std::vector<AgentModel> agents_;

@@ -84,6 +84,7 @@ Cache::load(Addr a)
     Line &ln = lineFor(a);
     if (hit(ln, a)) {
         cLoadHits_.incr();
+        ln.unreadUpdates = 0; // this update round was useful
         co_await delay(eq_, hitLatency_);
         co_return;
     }
@@ -105,12 +106,19 @@ Cache::store(Addr a)
             co_return;
         }
         if (hit(ln, a)) {
-            // Shared or Owned: address-only upgrade.
+            // Shared or Owned: address-only upgrade. Under an update
+            // backend an Owned (Sm) writer lands here every store —
+            // each write is its own update round by design.
             cStoreUpgrades_.incr();
             SnoopResult res = co_await issueTxn(TxnKind::Upgrade, a);
             Line &ln2 = lineFor(a);
             if (hit(ln2, a)) {
-                ln2.state = Moesi::Modified;
+                // kSharersRemain grant: the update left live sharers, so
+                // the writer installs Sm (Owned), not Modified. The
+                // single upgrade round *is* the complete write.
+                ln2.state =
+                    res.sharersRemain ? Moesi::Owned : Moesi::Modified;
+                ln2.unreadUpdates = 0;
                 co_return;
             }
             if (res.upgradeFilled) {
@@ -120,7 +128,9 @@ Cache::store(Addr a)
                 cStoreUpgradeFills_.incr();
                 ln2.tag = blockAlign(a);
                 ln2.tagValid = true;
-                ln2.state = Moesi::Modified;
+                ln2.state =
+                    res.sharersRemain ? Moesi::Owned : Moesi::Modified;
+                ln2.unreadUpdates = 0;
                 co_return;
             }
             // Invalidated while arbitrating; fall through and retry.
@@ -128,10 +138,17 @@ Cache::store(Addr a)
             continue;
         }
         cStoreMisses_.incr();
-        co_await refill(a, true);
+        SnoopResult res = co_await refill(a, true);
         Line &ln3 = lineFor(a);
-        if (hit(ln3, a) && isWritable(ln3.state)) {
-            ln3.state = Moesi::Modified;
+        if (hit(ln3, a) &&
+            (isWritable(ln3.state) ||
+             (res.sharersRemain && ln3.state == Moesi::Owned))) {
+            // Owned-after-exclusive-refill is the update-protocol success
+            // state (Sm); forcing Modified would pretend the sharers the
+            // grant told us about are gone.
+            if (!res.sharersRemain)
+                ln3.state = Moesi::Modified;
+            ln3.unreadUpdates = 0;
             co_return;
         }
         // Extremely unlikely: lost the block between refill completion and
@@ -147,6 +164,8 @@ Cache::fetchBlock(Addr a, bool exclusive)
     if (hit(ln, a) && (!exclusive || isWritable(ln.state))) {
         if (exclusive)
             ln.state = Moesi::Modified;
+        else
+            ln.unreadUpdates = 0;
         co_return;
     }
     if (exclusive && hit(ln, a)) {
@@ -154,26 +173,29 @@ Cache::fetchBlock(Addr a, bool exclusive)
         SnoopResult res = co_await issueTxn(TxnKind::Upgrade, a);
         Line &ln2 = lineFor(a);
         if (hit(ln2, a)) {
-            ln2.state = Moesi::Modified;
+            ln2.state = res.sharersRemain ? Moesi::Owned : Moesi::Modified;
+            ln2.unreadUpdates = 0;
             co_return;
         }
         if (res.upgradeFilled) {
             cStoreUpgradeFills_.incr();
             ln2.tag = blockAlign(a);
             ln2.tagValid = true;
-            ln2.state = Moesi::Modified;
+            ln2.state = res.sharersRemain ? Moesi::Owned : Moesi::Modified;
+            ln2.unreadUpdates = 0;
             co_return;
         }
     }
-    co_await refill(a, exclusive);
-    if (exclusive) {
+    SnoopResult res = co_await refill(a, exclusive);
+    if (exclusive && !res.sharersRemain) {
+        // (With sharers remaining the refill already installed Owned/Sm.)
         Line &ln3 = lineFor(a);
         if (hit(ln3, a))
             ln3.state = Moesi::Modified;
     }
 }
 
-CoTask<void>
+CoTask<SnoopResult>
 Cache::refill(Addr a, bool exclusive)
 {
     Line &ln = lineFor(a);
@@ -190,8 +212,11 @@ Cache::refill(Addr a, bool exclusive)
     Line &ln2 = lineFor(a);
     ln2.tag = blockAlign(a);
     ln2.tagValid = true;
+    ln2.unreadUpdates = 0;
     if (exclusive) {
-        ln2.state = Moesi::Modified;
+        // Update backends keep the sharers alive: the grant says so and
+        // the writer installs Sm (Owned) instead of Modified.
+        ln2.state = res.sharersRemain ? Moesi::Owned : Moesi::Modified;
     } else if (res.cacheSupplied && res.ownershipTransferred) {
         ln2.state = Moesi::Owned;
     } else if (res.cacheSupplied || res.sharedCopy) {
@@ -199,6 +224,7 @@ Cache::refill(Addr a, bool exclusive)
     } else {
         ln2.state = Moesi::Exclusive;
     }
+    co_return res;
 }
 
 CoTask<void>
@@ -228,11 +254,12 @@ Cache::claimBlock(Addr a, bool deferWriteback)
         }
     }
     cClaims_.incr();
-    co_await issueTxn(TxnKind::Upgrade, a);
+    SnoopResult res = co_await issueTxn(TxnKind::Upgrade, a);
     Line &ln2 = lineFor(a);
     ln2.tag = blockAlign(a);
     ln2.tagValid = true;
-    ln2.state = Moesi::Modified;
+    ln2.state = res.sharersRemain ? Moesi::Owned : Moesi::Modified;
+    ln2.unreadUpdates = 0;
 }
 
 CoTask<void>
@@ -319,6 +346,37 @@ Cache::onBusTxn(const BusTxn &txn)
         reply.hadCopy = true;
         ln.state = Moesi::Invalid;
         cSnoopInvalidations_.incr();
+        return reply;
+      }
+
+      case TxnKind::Update: {
+        // Dragon/hybrid word update pushed by the home on behalf of a
+        // writer. Invalidation backends never send these.
+        Line &ln = lineFor(blk);
+        if (!hit(ln, blk))
+            return reply; // silently evicted: the home drops us
+        if (updateThreshold_ > 0 && ln.unreadUpdates >= updateThreshold_) {
+            // Hybrid flip: `updateThreshold_` consecutive updates went
+            // unread, so stop absorbing — drop the copy and let the
+            // writer take plain ownership. hadCopy stays false so the
+            // home removes us from the sharer set.
+            ln.state = Moesi::Invalid;
+            ln.unreadUpdates = 0;
+            reply.invalidatedOnUpdate = true;
+            cSnoopInvalidations_.incr();
+            return reply;
+        }
+        reply.hadCopy = true;
+        if (isDirty(ln.state)) {
+            // Sm/M holder: its pre-update block is the freshest copy, so
+            // the ack supplies it (a write-missing requester's grant then
+            // carries real data). The update demotes it to Sc.
+            reply.supplied = true;
+            cSnoopSupplies_.incr();
+        }
+        ln.state = Moesi::Shared; // Sc, value refreshed in place
+        if (ln.unreadUpdates < 255)
+            ++ln.unreadUpdates;
         return reply;
       }
 

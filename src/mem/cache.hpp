@@ -52,6 +52,18 @@ class Cache : public BusAgent
     void setSnarfing(bool on) { snarfing_ = on; }
 
     /**
+     * Adaptive update/invalidate flip point (the "hybrid" backend's
+     * --hybrid-threshold). Each line tracks consecutive TxnKind::Update
+     * pushes absorbed without an intervening read; once `t` of them
+     * piled up, the next update makes the line self-invalidate instead
+     * of absorbing (SnoopReply::invalidatedOnUpdate), flipping it to
+     * invalidate mode for this cache. 0 (default) never flips — the
+     * pure-update "dragon" behaviour. Irrelevant under invalidation
+     * backends, which never send Update transactions.
+     */
+    void setUpdateThreshold(int t) { updateThreshold_ = t; }
+
+    /**
      * On snooped reads of dirty lines, pass ownership to the requester
      * (supplier downgrades to Shared, requester installs Owned) instead
      * of keeping it. A cache that stages transient data it will never
@@ -104,6 +116,7 @@ class Cache : public BusAgent
         ln.tag = blockAlign(a);
         ln.tagValid = true;
         ln.state = state;
+        ln.unreadUpdates = 0;
     }
 
     /** Current state of the line that would hold `a` (test/debug). */
@@ -133,6 +146,12 @@ class Cache : public BusAgent
         Addr tag = 0; //!< block-aligned address held (or last held)
         bool tagValid = false;
         Moesi state = Moesi::Invalid;
+        /**
+         * Consecutive updates absorbed without a read (saturating).
+         * Only update backends ever bump it; reads and fresh installs
+         * reset it (see setUpdateThreshold).
+         */
+        std::uint8_t unreadUpdates = 0;
     };
 
     Line &lineFor(Addr a);
@@ -142,7 +161,7 @@ class Cache : public BusAgent
     /** Hit test: valid state and matching tag. */
     bool hit(const Line &ln, Addr a) const;
 
-    CoTask<void> refill(Addr a, bool exclusive);
+    CoTask<SnoopResult> refill(Addr a, bool exclusive);
     ValueCompletion<SnoopResult> issueTxn(TxnKind kind, Addr a);
 
     EventQueue &eq_;
@@ -154,6 +173,7 @@ class Cache : public BusAgent
     Tick hitLatency_ = 1;
     bool snarfing_ = false;
     bool transferOwnership_ = false;
+    int updateThreshold_ = 0; //!< 0 = never self-invalidate on update
     StatSet stats_;
 
     // Pre-bound per-access counters (sim/stats.hpp Counter contract).

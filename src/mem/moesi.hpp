@@ -42,6 +42,16 @@ toString(Moesi s)
     return "?";
 }
 
+/**
+ * Dragon-style update protocols reuse the MOESI lattice: shared-clean
+ * (Sc) is Shared, shared-modified (Sm — this cache last wrote the line,
+ * other caches hold pushed copies, home is stale) is Owned. No new
+ * states: an Sm writer already behaves like an Owned supplier, and a
+ * store to Sc/Sm raises an Upgrade the backend turns into word updates.
+ */
+constexpr Moesi SharedClean = Moesi::Shared;
+constexpr Moesi SharedMod = Moesi::Owned;
+
 /** Valid (readable) states. */
 constexpr bool
 isValid(Moesi s)

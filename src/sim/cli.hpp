@@ -10,13 +10,17 @@
  *   --snarf           enable writeback snarfing (CNI16Qm)
  *   --net MODEL       interconnect (NetRegistry): ideal|mesh|torus|xbar
  *   --coherence B     coherence backend (CoherenceRegistry):
- *                     snoop (default) | directory
+ *                     snoop (default) | directory | dragon | hybrid
  *   --dir-entries N   sparse directory: per-home entry cap (0 = exact
  *                     full map, the default)
  *   --dir-assoc N     sparse directory set associativity (default 4)
  *   --dir-hops N      remote-miss data path: 4 = home-centric (default),
  *                     3 = the owner forwards data straight to the
  *                     requester and acks the home in parallel
+ *   --hybrid-threshold N
+ *                     adaptive update backend ("hybrid"): a sharer
+ *                     self-invalidates after N consecutive unread
+ *                     updates (default 4)
  *   --net-latency N   fabric latency in cycles (ideal/xbar transit)
  *   --link-bw N       link/port bandwidth in bytes per cycle (mesh/xbar)
  *   --window N        sliding-window depth per destination
@@ -35,7 +39,8 @@
  *
  * Passing the literal name "list" to --ni, --net, or --coherence
  * prints that registry's entries and exits 0, so users can discover
- * model names without reading source.
+ * model names without reading source. The coherence listing includes
+ * each backend's traits (medium, placements, knobs it consumes).
  *
  * Flags the user did not pass leave the binary's own defaults intact
  * (apply() only overrides what was given). parse() enables the run-
@@ -76,6 +81,7 @@ struct Options
     std::optional<int> dirEntries;
     std::optional<int> dirAssoc;
     std::optional<int> dirHops;
+    std::optional<int> hybridThreshold;
     std::optional<Tick> netLatency;
     std::optional<std::size_t> linkBw;
     std::optional<int> window;
@@ -122,6 +128,8 @@ struct Options
             b.dirAssoc(*dirAssoc);
         if (dirHops)
             b.dirHops(*dirHops);
+        if (hybridThreshold)
+            b.hybridThreshold(*hybridThreshold);
         if (netLatency)
             b.netLatency(*netLatency);
         if (linkBw)
@@ -179,8 +187,9 @@ parse(int argc, char **argv, const char *extraUsage = nullptr)
             "usage: %s [--ni MODEL] [--nodes N] [--contexts N]\n"
             "       [--placement memory|io|cache] [--snarf]\n"
             "       [--net ideal|mesh|torus|xbar]\n"
-            "       [--coherence snoop|directory] [--dir-entries N]\n"
-            "       [--dir-assoc N] [--dir-hops 3|4] [--net-latency N]\n"
+            "       [--coherence snoop|directory|dragon|hybrid]\n"
+            "       [--dir-entries N] [--dir-assoc N] [--dir-hops 3|4]\n"
+            "       [--hybrid-threshold N] [--net-latency N]\n"
             "       [--link-bw N] [--window N] [--net-retry N]\n"
             "       [--mesh-dims XxY] [--threads N] [--dist-lookahead]\n"
             "       [--seed S]\n"
@@ -257,6 +266,23 @@ parse(int argc, char **argv, const char *extraUsage = nullptr)
             }
             o.dirHops = n;
             ++i;
+        } else if (a == "--hybrid-threshold") {
+            // Strict parse: atoi's silent 0 would be rejected by the
+            // builder with a message that never names this flag. The
+            // per-line counter saturates at 255, so larger thresholds
+            // could never fire.
+            const char *arg = need(i);
+            char *end = nullptr;
+            const long n = std::strtol(arg, &end, 10);
+            if (end == arg || *end != '\0' || n < 1 || n > 255) {
+                std::fprintf(stderr,
+                             "%s: --hybrid-threshold wants an integer "
+                             "in [1, 255], got '%s'\n",
+                             o.prog.c_str(), arg);
+                usage(1);
+            }
+            o.hybridThreshold = static_cast<int>(n);
+            ++i;
         } else if (a == "--net-latency") {
             o.netLatency = std::strtoull(need(i), nullptr, 10);
             ++i;
@@ -331,8 +357,33 @@ parse(int argc, char **argv, const char *extraUsage = nullptr)
         listAndExit("NI", NiRegistry::instance().names());
     if (o.net && *o.net == "list")
         listAndExit("interconnect", NetRegistry::instance().names());
-    if (o.coherence && *o.coherence == "list")
-        listAndExit("coherence", CoherenceRegistry::instance().names());
+    if (o.coherence && *o.coherence == "list") {
+        // Richer than the generic lister: a backend's traits decide
+        // which placements and knobs apply, so print them here instead
+        // of making users cross-reference the source.
+        std::printf("registered coherence models:\n");
+        for (const auto &n : CoherenceRegistry::instance().names()) {
+            const CoherenceTraits *t =
+                CoherenceRegistry::instance().traits(n);
+            std::printf("  %-10s %s", n.c_str(),
+                        t->snooping ? "snooping bus"
+                                    : "directory over fabric");
+            if (t->snooping && t->maxBusAgents > 0)
+                std::printf(" (<= %d agents/bus)", t->maxBusAgents);
+            if (t->updateProtocol)
+                std::printf(", update-based");
+            if (t->adaptiveUpdate)
+                std::printf(" + adaptive (--hybrid-threshold)");
+            if (t->directoryGeometry)
+                std::printf(", --dir-* knobs");
+            std::printf("\n             placement: memory%s%s; "
+                        "snarfing: %s\n",
+                        t->supportsIoPlacement ? "|io" : "",
+                        t->supportsCachePlacement ? "|cache" : "",
+                        t->supportsSnarfing ? "yes" : "no");
+        }
+        std::exit(0);
+    }
 
     // A mistyped machine-wide flag must fail loudly here: benches that
     // sweep fixed configurations (fig6/fig7) treat unbuildable combos

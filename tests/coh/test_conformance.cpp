@@ -5,10 +5,11 @@
  * The safety net under every coherence-protocol rewrite: seeded random
  * traces of processor reads/writes (including cache-conflict aliases
  * that force writebacks) and cross-node messaging are driven through
- * the snoop backend and every directory configuration — full-map and
- * sparse, 4-hop and 3-hop — on the same MachineSpec, and the final
- * per-node memory images must be bit-identical to each other and to a
- * shadow model of the trace.
+ * the snoop backend, every directory configuration — full-map and
+ * sparse, 4-hop and 3-hop — and the update-based backends (dragon, and
+ * hybrid at its most flip-happy threshold) on the same MachineSpec, and
+ * the final per-node memory images must be bit-identical to each other
+ * and to a shadow model of the trace.
  *
  * Invariants proven per seed:
  *  - every workload converges (no protocol deadlock), even with a tiny
@@ -167,6 +168,7 @@ struct BackendCfg
     int dirEntries = 0;
     int dirHops = 4;
     int threads = 0;
+    int hybridThreshold = 0; //!< 0 = builder default (adaptive only)
 };
 
 struct RunResult
@@ -196,6 +198,8 @@ runTrace(std::uint64_t seed, const BackendCfg &cfg)
     if (cfg.dirEntries > 0)
         b.dirEntries(cfg.dirEntries).dirAssoc(4);
     b.dirHops(cfg.dirHops);
+    if (cfg.hybridThreshold > 0)
+        b.hybridThreshold(cfg.hybridThreshold);
     std::string why;
     EXPECT_TRUE(b.valid(&why)) << cfg.label << ": " << why;
     Machine m = b.build();
@@ -318,6 +322,10 @@ const BackendCfg kBackends[] = {
     {"dir-full-3hop", "directory", 0, 3},
     {"dir-sparse8-4hop", "directory", 8, 4},
     {"dir-sparse8-3hop", "directory", 8, 3},
+    {"dragon-full-4hop", "dragon", 0, 4},
+    // Threshold 1 makes every second-in-a-row unread update flip the
+    // line — the most mode churn the adaptive machinery can produce.
+    {"hybrid-thr1-4hop", "hybrid", 0, 4, 0, 1},
 };
 
 TEST(Conformance, AllBackendsComputeTheSameMemoryImage)

@@ -59,6 +59,20 @@ TEST(Cnimc, ExhaustsEveryBackendCleanTwoNodesOneBlock)
         c.dir.hops = 3;
         cases.push_back({"dir-sparse2-3hop", c});
     }
+    cases.push_back({"dragon-full-4hop", base("dragon")});
+    {
+        // Threshold 1 maximizes flip churn: every absorbed update is
+        // already one-from-saturation, so the kTouch/self-invalidate
+        // interleavings all appear within the 1-block space.
+        McConfig c = base("hybrid");
+        c.dir.updThreshold = 1;
+        cases.push_back({"hybrid-thr1", c});
+    }
+    {
+        McConfig c = base("hybrid");
+        c.dir.updThreshold = 2;
+        cases.push_back({"hybrid-thr2", c});
+    }
 
     for (const Case &tc : cases) {
         McChecker checker(tc.cfg);

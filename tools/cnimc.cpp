@@ -30,12 +30,15 @@ void
 usage(std::ostream &os)
 {
     os << "usage: cnimc [options]\n"
-          "  --coherence <snoop|directory>  backend to check "
+          "  --coherence <snoop|directory|dragon|hybrid>\n"
+          "                                 backend to check "
           "(default directory)\n"
           "  --dir-entries <n>              sparse entry cap (0 = full "
           "map)\n"
           "  --dir-assoc <n>                sparse associativity\n"
           "  --dir-hops <3|4>               remote-miss data path\n"
+          "  --hybrid-threshold <n>         hybrid: sharer "
+          "self-invalidates after n unread updates\n"
           "  --nodes <n>                    machine size (default 2)\n"
           "  --blocks <n>                   coherent blocks in play "
           "(default 1)\n"
@@ -71,6 +74,9 @@ main(int argc, char **argv)
             cfg.dir.assoc = std::atoi(value("--dir-assoc").c_str());
         } else if (arg == "--dir-hops") {
             cfg.dir.hops = std::atoi(value("--dir-hops").c_str());
+        } else if (arg == "--hybrid-threshold") {
+            cfg.dir.updThreshold =
+                std::atoi(value("--hybrid-threshold").c_str());
         } else if (arg == "--nodes") {
             cfg.nodes = std::atoi(value("--nodes").c_str());
         } else if (arg == "--blocks") {
@@ -95,7 +101,8 @@ main(int argc, char **argv)
         }
     }
 
-    if (cfg.backend != "snoop" && cfg.backend != "directory") {
+    if (cfg.backend != "snoop" && cfg.backend != "directory" &&
+        cfg.backend != "dragon" && cfg.backend != "hybrid") {
         std::cerr << "cnimc: unknown backend '" << cfg.backend << "'\n";
         return 2;
     }
@@ -106,17 +113,24 @@ main(int argc, char **argv)
                      "machines)\n";
         return 2;
     }
+    if (cfg.dir.updThreshold < 1 || cfg.dir.updThreshold > 255) {
+        std::cerr << "cnimc: --hybrid-threshold must be 1..255\n";
+        return 2;
+    }
 
     cni::McChecker checker(cfg);
     const cni::McResult res = checker.check();
 
     std::cout << "cnimc: " << cfg.backend;
-    if (cfg.backend == "directory") {
+    if (cfg.backend != "snoop") {
         std::cout << " (entries="
                   << (cfg.dir.entries == 0 ? std::string("full")
                                            : std::to_string(
                                                  cfg.dir.entries))
-                  << ", hops=" << cfg.dir.hops << ")";
+                  << ", hops=" << cfg.dir.hops;
+        if (cfg.backend == "hybrid")
+            std::cout << ", threshold=" << cfg.dir.updThreshold;
+        std::cout << ")";
     }
     std::cout << " nodes=" << cfg.nodes << " blocks=" << cfg.blocks
               << (cfg.seedBug ? " [seed-bug]" : "") << "\n"
