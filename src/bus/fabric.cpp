@@ -1,6 +1,7 @@
 #include "bus/fabric.hpp"
 
 #include "bus/address_map.hpp"
+#include "mc/encode.hpp"
 #include "sim/logging.hpp"
 
 namespace cni
@@ -188,6 +189,25 @@ void
 NodeFabric::mcRestore(const std::shared_ptr<const void> &snap)
 {
     cni_assert(snap != nullptr);
+}
+
+void
+NodeFabric::mcEncode(McEncoder &enc) const
+{
+    // Snooping buses serialize atomically inside one transaction's event
+    // cascade, so there is no inter-transaction protocol state to fold
+    // into the fingerprint.
+    (void)enc;
+}
+
+void
+NodeFabric::mcEncodeWire(McEncoder &enc, const std::uint8_t *blob,
+                         std::size_t len) const
+{
+    // Bus transactions carry no protocol-specific wire structure: fold
+    // the raw bytes, exactly as the stateless default does.
+    for (std::size_t i = 0; i < len; ++i)
+        enc.u8(blob[i]);
 }
 
 bool

@@ -89,6 +89,9 @@ class NodeFabric : public CoherenceDomain
     // trivial snapshot.
     std::shared_ptr<const void> mcSnapshot() const override;
     void mcRestore(const std::shared_ptr<const void> &snap) override;
+    void mcEncode(McEncoder &enc) const override;
+    void mcEncodeWire(McEncoder &enc, const std::uint8_t *blob,
+                      std::size_t len) const override;
     bool mcQuiescent(std::string *why) const override;
     std::size_t mcParkDepth() const override;
 

@@ -34,7 +34,7 @@ class IdealNet : public Interconnect
 
   protected:
     Tick
-    routeDelay(const NetMsg &msg, Tick now) override
+    routeDelay(const NetMsg &msg, Tick now) override CNI_REQUIRES(barrier_)
     {
         (void)msg;
         (void)now;

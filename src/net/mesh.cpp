@@ -121,6 +121,7 @@ MeshNet::ackDelay(NodeId src, NodeId dst)
 void
 MeshNet::reportTopology(JsonWriter &w) const
 {
+    barrier_.assertHeld(); // reports run serially, between windows
     w.key("dims").beginObject();
     w.key("x").value(dimX_);
     w.key("y").value(dimY_);

@@ -67,7 +67,9 @@ class MeshNet : public Interconnect
     void reportTopology(JsonWriter &w) const override;
 
   protected:
-    Tick routeDelay(const NetMsg &msg, Tick now) override;
+    Tick routeDelay(const NetMsg &msg, Tick now) override
+        CNI_REQUIRES(barrier_);
+    /// Pure hop math (no link reservation) — runs in the parallel phase.
     Tick ackDelay(NodeId src, NodeId dst) override;
 
   private:
@@ -94,12 +96,16 @@ class MeshNet : public Interconnect
      */
     std::pair<NodeId, Dir> step(NodeId cur, NodeId dst) const;
 
-    Link &link(NodeId from, Dir d) { return links_[from * 4 + d]; }
+    Link &link(NodeId from, Dir d) CNI_REQUIRES(barrier_)
+    {
+        return links_[from * 4 + d];
+    }
 
     bool wrap_;
     int dimX_ = 0;
     int dimY_ = 0;
-    std::vector<Link> links_; //!< 4 per node, indexed node*4 + Dir
+    std::vector<Link> links_
+        CNI_GUARDED_BY(barrier_); //!< 4 per node, indexed node*4 + Dir
     StatSet::Counter cLinkWaitCycles_;
     StatSet::Counter cLinkBusyCycles_;
     StatSet::Counter cHops_;

@@ -3,6 +3,8 @@
 #include "sim/json.hpp"
 #include "sim/logging.hpp"
 
+#include <utility>
+
 namespace cni
 {
 
@@ -48,6 +50,7 @@ Interconnect::foldShardCounters()
 {
     if (!shards_)
         return;
+    barrier_.assertHeld(); // coordinator, between runs: shards quiescent
     for (NodeId n = 0; n < numNodes_; ++n) {
         const NodeCounters &cur = perNode_[n];
         NodeCounters &last = folded_[n];
@@ -107,10 +110,12 @@ Interconnect::inject(NetMsg msg)
             const Tick at = shards_->shardNow(msg.src);
             shards_->postBarrier(
                 msg.src, [this, at, m = std::move(msg)](Tick wEnd) mutable {
+                    barrier_.assertHeld(); // runs in the barrier merge
                     routeFromBarrier(std::move(m), at, wEnd);
                 });
             return;
         }
+        barrier_.assertHeld(); // serial mode: one thread owns the fabric
         const Tick delay = routeDelay(msg, eq_.now());
         if (eq_.choiceMode()) {
             // Model checking: the in-flight message becomes a choice
@@ -123,8 +128,9 @@ Interconnect::inject(NetMsg msg)
             auto meta = std::make_shared<const ChoiceMeta>(ChoiceMeta{
                 "coh",
                 std::vector<std::uint8_t>(
-                    msg.payload.data(),
-                    msg.payload.data() + msg.payload.size())});
+                    std::as_const(msg.payload).data(),
+                    std::as_const(msg.payload).data() +
+                        msg.payload.size())});
             eq_.scheduleChoice(ch, std::move(meta), delay,
                                [this, m = std::move(msg)]() mutable {
                                    deliverArrival(std::move(m));
@@ -151,6 +157,7 @@ Interconnect::inject(NetMsg msg)
         const Tick at = shards_->shardNow(msg.src);
         shards_->postBarrier(
             msg.src, [this, at, m = std::move(msg)](Tick wEnd) mutable {
+                barrier_.assertHeld(); // runs in the barrier merge
                 routeFromBarrier(std::move(m), at, wEnd);
             });
         return;
@@ -158,6 +165,7 @@ Interconnect::inject(NetMsg msg)
 
     cInjected_.incr();
     cPayloadBytes_.incr(msg.payloadBytes());
+    barrier_.assertHeld(); // serial mode: one thread owns the fabric
     const Tick delay = routeDelay(msg, eq_.now());
     eq_.scheduleIn(delay, [this, m = std::move(msg)]() mutable {
         deliverArrival(std::move(m));

@@ -46,6 +46,7 @@
 #include "sim/shard.hpp"
 #include "sim/stats.hpp"
 #include "sim/task.hpp"
+#include "sim/thread_annotations.hpp"
 #include "sim/types.hpp"
 
 namespace cni
@@ -239,6 +240,17 @@ class Interconnect
 
   protected:
     /**
+     * Fabric-serial phase capability (see sim/thread_annotations.hpp):
+     * held when exactly one thread can be routing — the whole run in
+     * serial mode, the window-barrier merge in sharded mode. Everything
+     * that touches fabric-wide SerialResources (routeDelay and the
+     * models' link/port tables behind it) requires it, so a model that
+     * reserves a link from shard context fails the clang thread-safety
+     * build instead of racing at runtime.
+     */
+    RoleCap barrier_;
+
+    /**
      * Cycles from an injection at tick `now` to arrival at msg.dst.
      * Called once per message — at injection time in serial mode, at the
      * window barrier (serially, in canonical order) in sharded mode; a
@@ -246,9 +258,16 @@ class Interconnect
      * ports) and accounts contention here. Must return >= minLatency()
      * for src != dst.
      */
-    virtual Tick routeDelay(const NetMsg &msg, Tick now) = 0;
+    virtual Tick routeDelay(const NetMsg &msg, Tick now)
+        CNI_REQUIRES(barrier_) = 0;
 
-    /** Cycles for the acknowledgment's trip from `dst` back to `src`. */
+    /**
+     * Cycles for the acknowledgment's trip from `dst` back to `src`.
+     * Deliberately NOT a barrier_ operation: acks are priced on the
+     * destination's shard during the parallel phase (pumpArrivals), so
+     * overrides must stay pure — params and topology math only, no
+     * SerialResource reservations.
+     */
     virtual Tick
     ackDelay(NodeId src, NodeId dst)
     {
@@ -283,7 +302,8 @@ class Interconnect
     void pumpArrivals(NodeId dst);
 
     /** Barrier-phase half of a sharded injection (serial, canonical). */
-    void routeFromBarrier(NetMsg msg, Tick injectTick, Tick notBefore);
+    void routeFromBarrier(NetMsg msg, Tick injectTick, Tick notBefore)
+        CNI_REQUIRES(barrier_);
 
     /** The queue driving node-local work for `node`. */
     EventQueue &nodeQueue(NodeId node);
@@ -305,7 +325,9 @@ class Interconnect
 
     ShardHost *shards_ = nullptr;
     std::vector<NodeCounters> perNode_;
-    std::vector<NodeCounters> folded_;
+    /// Last-folded snapshot; only the coordinator's serial phase walks
+    /// it (foldShardCounters, between runs).
+    std::vector<NodeCounters> folded_ CNI_GUARDED_BY(barrier_);
 
     int numNodes_;
     std::vector<NiPort *> ports_;

@@ -43,6 +43,7 @@ CrossbarNet::routeDelay(const NetMsg &msg, Tick now)
 void
 CrossbarNet::reportTopology(JsonWriter &w) const
 {
+    barrier_.assertHeld(); // reports run serially, between windows
     auto writePorts = [&](const char *key,
                           const std::vector<PortState> &ports) {
         w.key(key).beginArray();

@@ -34,13 +34,16 @@ class CrossbarNet : public Interconnect
     void reportTopology(JsonWriter &w) const override;
 
   protected:
-    Tick routeDelay(const NetMsg &msg, Tick now) override;
+    Tick routeDelay(const NetMsg &msg, Tick now) override
+        CNI_REQUIRES(barrier_);
 
   private:
     using PortState = SerialResource;
 
-    std::vector<PortState> egress_; //!< per-source injection port
-    std::vector<PortState> ingress_; //!< per-destination delivery port
+    /// Per-source injection ports (reserved only under barrier_).
+    std::vector<PortState> egress_ CNI_GUARDED_BY(barrier_);
+    /// Per-destination delivery ports (reserved only under barrier_).
+    std::vector<PortState> ingress_ CNI_GUARDED_BY(barrier_);
     StatSet::Counter cEgressWaitCycles_;
     StatSet::Counter cIngressWaitCycles_;
     StatSet::Counter cPortBusyCycles_;

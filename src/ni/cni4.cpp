@@ -3,6 +3,8 @@
 #include "ni/registry.hpp"
 #include "sim/logging.hpp"
 
+#include <utility>
+
 namespace cni
 {
 
@@ -247,7 +249,8 @@ Cni4::presentNextRecv()
                                    recvCur_.payloadBytes());
     if (!recvCur_.payload.empty()) {
         mem_.write(kCni4RecvCdr + kNetworkHeaderBytes,
-                   recvCur_.payload.data(), recvCur_.payload.size());
+                   std::as_const(recvCur_.payload).data(),
+                   recvCur_.payload.size());
     }
     recvReady_ = true;
     cRecvPresented_.incr();

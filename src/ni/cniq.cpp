@@ -3,6 +3,8 @@
 #include "ni/registry.hpp"
 #include "sim/logging.hpp"
 
+#include <utility>
+
 namespace cni
 {
 
@@ -460,7 +462,8 @@ Cniq::writeRecvSlot(int ctx)
     // Architectural data: header word (sense last in program order) and
     // payload bytes.
     if (!msg.payload.empty()) {
-        mem_.write(slot + kNetworkHeaderBytes, msg.payload.data(),
+        mem_.write(slot + kNetworkHeaderBytes,
+                   std::as_const(msg.payload).data(),
                    msg.payload.size());
     }
     mem_.write64(slot,

@@ -42,10 +42,10 @@ ParallelKernel::~ParallelKernel()
 {
     if (!workers_.empty()) {
         {
-            std::lock_guard<std::mutex> lk(mu_);
+            CniLockGuard lk(mu_);
             stop_ = true;
         }
-        cvStart_.notify_all();
+        cvStart_.notifyAll();
         for (auto &w : workers_)
             w.join();
     }
@@ -122,6 +122,7 @@ std::uint64_t
 ParallelKernel::shardStalledWindows(int shard) const
 {
     cni_assert(shard >= 0 && shard < numShards());
+    serial_.assertHeld(); // stats are only meaningful between windows
     return stalled_[shard];
 }
 
@@ -193,6 +194,9 @@ Tick
 ParallelKernel::run(const std::function<bool()> &done,
                     const std::string &label)
 {
+    // The calling thread IS the coordinator for the whole run: it holds
+    // the serial-phase capability, workers never touch serial state.
+    RoleGuard serial(serial_);
     for (;;) {
         // Posts buffered outside a window (e.g. during machine
         // construction) merge before the next window starts.
@@ -214,6 +218,7 @@ ParallelKernel::run(const std::function<bool()> &done,
 Tick
 ParallelKernel::runUntil(Tick limit, const std::function<bool()> &done)
 {
+    RoleGuard serial(serial_);
     for (;;) {
         if (!outboxesEmpty())
             drainBarrier(globalTime_);
@@ -258,15 +263,18 @@ ParallelKernel::executeWindow(Tick wEnd)
 
     startPool();
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        CniLockGuard lk(mu_);
         windowEnd_ = wEnd;
         cursor_.store(0, std::memory_order_relaxed);
         pendingWorkers_ = int(workers_.size());
         ++generation_;
     }
-    cvStart_.notify_all();
-    std::unique_lock<std::mutex> lk(mu_);
-    cvDone_.wait(lk, [this] { return pendingWorkers_ == 0; });
+    cvStart_.notifyAll();
+    {
+        CniLockGuard lk(mu_);
+        while (pendingWorkers_ != 0)
+            cvDone_.wait(mu_);
+    }
 }
 
 void
@@ -286,9 +294,9 @@ ParallelKernel::workerLoop()
     for (;;) {
         Tick wEnd;
         {
-            std::unique_lock<std::mutex> lk(mu_);
-            cvStart_.wait(lk,
-                          [&] { return stop_ || generation_ != seen; });
+            CniLockGuard lk(mu_);
+            while (!stop_ && generation_ == seen)
+                cvStart_.wait(mu_);
             if (stop_)
                 return;
             seen = generation_;
@@ -303,9 +311,9 @@ ParallelKernel::workerLoop()
                 break;
             queues_[active_[i]]->runUntil(wEnd - 1);
         }
-        std::lock_guard<std::mutex> lk(mu_);
+        CniLockGuard lk(mu_);
         if (--pendingWorkers_ == 0)
-            cvDone_.notify_one();
+            cvDone_.notifyOne();
     }
 }
 

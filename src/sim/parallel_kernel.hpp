@@ -31,17 +31,16 @@
 #define CNI_SIM_PARALLEL_KERNEL_HPP
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/shard.hpp"
+#include "sim/thread_annotations.hpp"
 #include "sim/types.hpp"
 
 namespace cni
@@ -63,6 +62,16 @@ class ParallelKernel final : public ShardHost
     /** Window width in ticks; must be >= 1 (the fabric's minLatency). */
     void setLookahead(Tick l);
     Tick lookahead() const { return lookahead_; }
+
+    // Concurrency discipline, compiler-checked (see
+    // sim/thread_annotations.hpp): `serial_` is the coordinator-phase
+    // capability — window stepping, the barrier merge, and the counters
+    // they maintain require it; run()/runUntil() hold it for their whole
+    // duration, and the stats getters assert it (they are only
+    // meaningful between windows). `mu_` guards the worker-pool
+    // handshake state. Per-shard state (queues_, outbox_ entries,
+    // active_) is partitioned by the claim protocol instead of a single
+    // capability and stays unannotated.
 
     /**
      * Conservative per-pair interaction bound, in ticks; fn(s, d) must
@@ -90,7 +99,11 @@ class ParallelKernel final : public ShardHost
     bool distLookahead() const { return bool(pairLat_); }
 
     /** Windows whose end the pair scan actually moved. */
-    std::uint64_t widenedWindows() const { return widened_; }
+    std::uint64_t widenedWindows() const
+    {
+        serial_.assertHeld();
+        return widened_;
+    }
 
     int numShards() const { return int(queues_.size()); }
     int threads() const { return threads_; }
@@ -118,8 +131,16 @@ class ParallelKernel final : public ShardHost
     Tick now() const;
 
     // Kernel statistics (all thread-count independent) ----------------------
-    std::uint64_t windows() const { return windows_; }
-    std::uint64_t barrierPosts() const { return posts_; }
+    std::uint64_t windows() const
+    {
+        serial_.assertHeld();
+        return windows_;
+    }
+    std::uint64_t barrierPosts() const
+    {
+        serial_.assertHeld();
+        return posts_;
+    }
     std::uint64_t shardExecuted(int shard) const;
     /** Windows in which this shard had no events while others ran. */
     std::uint64_t shardStalledWindows(int shard) const;
@@ -132,46 +153,59 @@ class ParallelKernel final : public ShardHost
     };
 
     /** Earliest pending event tick across all shards (kNoEvent if none). */
-    Tick minNextTick() const;
-    bool outboxesEmpty() const;
+    Tick minNextTick() const CNI_REQUIRES(serial_);
+    bool outboxesEmpty() const CNI_REQUIRES(serial_);
 
     /** One window: parallel shard execution, then the serial barrier. */
-    void stepWindow(Tick wStart);
-    void executeWindow(Tick wEnd);
-    void drainBarrier(Tick wEnd);
+    void stepWindow(Tick wStart) CNI_REQUIRES(serial_);
+    void executeWindow(Tick wEnd) CNI_REQUIRES(serial_);
+    void drainBarrier(Tick wEnd) CNI_REQUIRES(serial_);
 
     /** Distance-aware window end (see setPairLatency). */
-    Tick widenWindow(Tick wStart, Tick legacyEnd);
+    Tick widenWindow(Tick wStart, Tick legacyEnd) CNI_REQUIRES(serial_);
 
     void startPool();
     void workerLoop();
 
+    /** Coordinator-phase capability (no runtime state). */
+    RoleCap serial_;
+
+    // Per-shard state, partitioned by the window claim protocol: each
+    // shard is claimed by exactly one worker per window, and outbox_
+    // entries are appended only by the claiming worker (the barrier
+    // handshake publishes them). Not expressible as one capability.
     std::vector<std::unique_ptr<EventQueue>> queues_;
     std::vector<std::vector<Post>> outbox_; //!< per-shard, append-only
-    std::vector<Post> mergeScratch_; //!< barrier merge buffer, reused
-    std::vector<std::uint64_t> stalled_;
-    Tick lookahead_ = 1;
-    Tick globalTime_ = 0;
-    std::uint64_t windows_ = 0;
-    std::uint64_t posts_ = 0;
+
+    std::vector<Post> mergeScratch_
+        CNI_GUARDED_BY(serial_); //!< barrier merge buffer, reused
+    std::vector<std::uint64_t> stalled_ CNI_GUARDED_BY(serial_);
+    Tick lookahead_ = 1; //!< configuration, set before any window runs
+    Tick globalTime_ CNI_GUARDED_BY(serial_) = 0;
+    std::uint64_t windows_ CNI_GUARDED_BY(serial_) = 0;
+    std::uint64_t posts_ CNI_GUARDED_BY(serial_) = 0;
 
     // Distance-aware lookahead (optional; see setPairLatency).
-    PairLatencyFn pairLat_;
-    std::vector<int> pending_; //!< widenWindow scratch, reused
-    std::uint64_t widened_ = 0;
+    PairLatencyFn pairLat_; //!< configuration, set before any window runs
+    std::vector<int> pending_
+        CNI_GUARDED_BY(serial_); //!< widenWindow scratch, reused
+    std::uint64_t widened_ CNI_GUARDED_BY(serial_) = 0;
 
     // Worker pool (only materialized when threads_ > 1).
     int threads_;
-    std::vector<int> active_; //!< shards with events in this window
+    std::vector<int> active_; //!< shards with events in this window;
+                              //!< written between windows, read-only
+                              //!< inside one (published by the
+                              //!< generation handshake under mu_)
     std::vector<std::thread> workers_;
-    std::mutex mu_;
-    std::condition_variable cvStart_;
-    std::condition_variable cvDone_;
-    std::uint64_t generation_ = 0;
-    int pendingWorkers_ = 0;
-    Tick windowEnd_ = 0;
+    CniMutex mu_;
+    CniCondVar cvStart_;
+    CniCondVar cvDone_;
+    std::uint64_t generation_ CNI_GUARDED_BY(mu_) = 0;
+    int pendingWorkers_ CNI_GUARDED_BY(mu_) = 0;
+    Tick windowEnd_ CNI_GUARDED_BY(mu_) = 0;
     std::atomic<std::size_t> cursor_{0};
-    bool stop_ = false;
+    bool stop_ CNI_GUARDED_BY(mu_) = false;
 };
 
 } // namespace cni

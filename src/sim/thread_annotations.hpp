@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Clang thread-safety (capability) annotations for the sharded kernel,
+ * plus the small wrapper types that make them usable.
+ *
+ * Two capabilities describe the kernel's concurrency discipline:
+ *
+ *  - A real mutex capability (`CniMutex`): the worker-pool handshake
+ *    state (generation counter, pending-worker count, window end, stop
+ *    flag) is only touched under `mu_`. `CNI_GUARDED_BY(mu_)` makes the
+ *    compiler prove it.
+ *
+ *  - A phase-token capability (`RoleCap`): "this thread is executing the
+ *    serial (coordinator / barrier) phase" or "this code runs inside the
+ *    window barrier". No lock object exists at runtime — the window
+ *    handshake itself serializes these phases — but modelling the phase
+ *    as a zero-cost capability lets `CNI_REQUIRES(serial_)` express
+ *    "cross-shard effects are buffered and merged only at barriers" as a
+ *    compile-time rule instead of a comment. `RoleCap::assertHeld()`
+ *    (re)establishes the capability at seams the analysis cannot follow
+ *    (type-erased barrier callbacks, the serial --threads 1 path).
+ *
+ * The macros expand to nothing except under clang with
+ * `-Wthread-safety`; gcc builds see plain code. CMake adds
+ * `-Wthread-safety -Werror=thread-safety` on clang configs, and CI
+ * builds one clang configuration so violations fail the build.
+ */
+
+#ifndef CNI_SIM_THREAD_ANNOTATIONS_HPP
+#define CNI_SIM_THREAD_ANNOTATIONS_HPP
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define CNI_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CNI_THREAD_ANNOTATION(x)
+#endif
+
+#define CNI_CAPABILITY(x) CNI_THREAD_ANNOTATION(capability(x))
+#define CNI_SCOPED_CAPABILITY CNI_THREAD_ANNOTATION(scoped_lockable)
+#define CNI_GUARDED_BY(x) CNI_THREAD_ANNOTATION(guarded_by(x))
+#define CNI_PT_GUARDED_BY(x) CNI_THREAD_ANNOTATION(pt_guarded_by(x))
+#define CNI_REQUIRES(...) \
+    CNI_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define CNI_ACQUIRE(...) \
+    CNI_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CNI_RELEASE(...) \
+    CNI_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define CNI_TRY_ACQUIRE(...) \
+    CNI_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define CNI_EXCLUDES(...) \
+    CNI_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define CNI_ASSERT_CAPABILITY(x) \
+    CNI_THREAD_ANNOTATION(assert_capability(x))
+#define CNI_RETURN_CAPABILITY(x) \
+    CNI_THREAD_ANNOTATION(lock_returned(x))
+#define CNI_NO_THREAD_SAFETY_ANALYSIS \
+    CNI_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace cni
+{
+
+/** std::mutex with the `capability` attribute (libstdc++'s is bare). */
+class CNI_CAPABILITY("mutex") CniMutex
+{
+  public:
+    void lock() CNI_ACQUIRE() { m_.lock(); }
+    void unlock() CNI_RELEASE() { m_.unlock(); }
+    bool try_lock() CNI_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+    /** Underlying mutex, for condition-variable plumbing only. */
+    std::mutex &native() { return m_; }
+
+  private:
+    std::mutex m_;
+};
+
+/** Scoped lock with the `scoped_lockable` attribute. */
+class CNI_SCOPED_CAPABILITY CniLockGuard
+{
+  public:
+    explicit CniLockGuard(CniMutex &m) CNI_ACQUIRE(m) : m_(m)
+    {
+        m_.lock();
+    }
+    ~CniLockGuard() CNI_RELEASE() { m_.unlock(); }
+
+    CniLockGuard(const CniLockGuard &) = delete;
+    CniLockGuard &operator=(const CniLockGuard &) = delete;
+
+  private:
+    CniMutex &m_;
+};
+
+/**
+ * Condition variable over CniMutex. `wait` requires the caller to hold
+ * the mutex (use a manual `while (!predicate) cv.wait(mu);` loop — the
+ * analysis cannot see through a predicate lambda). The capability is
+ * held again when wait returns, exactly as with std::condition_variable.
+ */
+class CniCondVar
+{
+  public:
+    void wait(CniMutex &m) CNI_REQUIRES(m)
+    {
+        // Adopt the already-held native mutex for the duration of the
+        // wait, then release the unique_lock wrapper without unlocking:
+        // the caller's CniLockGuard continues to own the capability.
+        std::unique_lock<std::mutex> lk(m.native(), std::adopt_lock);
+        cv_.wait(lk);
+        lk.release();
+    }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+/**
+ * A phase token: a capability with no runtime state. Holding it means
+ * "this thread is in the phase the token names" (coordinator serial
+ * phase, window-barrier execution). Acquire/release are free; their
+ * value is that the compiler then rejects any call into
+ * `CNI_REQUIRES(token)` code — and any touch of a
+ * `CNI_GUARDED_BY(token)` member — from the wrong phase.
+ */
+class CNI_CAPABILITY("role") RoleCap
+{
+  public:
+    void acquire() const CNI_ACQUIRE() {}
+    void release() const CNI_RELEASE() {}
+
+    /**
+     * Declare (not check) that the phase is active. For seams the
+     * analysis cannot follow: the body of a type-erased barrier
+     * callback, the serial single-thread path, a stats getter called
+     * between runs.
+     */
+    void assertHeld() const CNI_ASSERT_CAPABILITY(this) {}
+};
+
+/** Scoped phase entry/exit for a RoleCap. */
+class CNI_SCOPED_CAPABILITY RoleGuard
+{
+  public:
+    explicit RoleGuard(const RoleCap &r) CNI_ACQUIRE(r) : r_(r)
+    {
+        r_.acquire();
+    }
+    ~RoleGuard() CNI_RELEASE() { r_.release(); }
+
+    RoleGuard(const RoleGuard &) = delete;
+    RoleGuard &operator=(const RoleGuard &) = delete;
+
+  private:
+    const RoleCap &r_;
+};
+
+} // namespace cni
+
+#endif // CNI_SIM_THREAD_ANNOTATIONS_HPP

@@ -1,0 +1,60 @@
+// MC-seam completeness, negative space: overriding the full mc* set is
+// fine, overriding none (a stateless backend keeping the defaults) is
+// fine, and inheriting a complete set from an intermediate base is fine.
+
+class McEncoder;
+
+class CoherenceDomain
+{
+  public:
+    virtual ~CoherenceDomain() = default;
+    virtual const void *mcSnapshot() const { return nullptr; }
+    virtual void mcRestore(const void *snap) { (void)snap; }
+    virtual void mcEncode(McEncoder &enc) const { (void)enc; }
+    virtual void mcEncodeWire(McEncoder &enc, const unsigned char *blob,
+                              unsigned long len) const
+    {
+        (void)enc;
+        (void)blob;
+        (void)len;
+    }
+    virtual bool mcQuiescent(char **why) const
+    {
+        (void)why;
+        return true;
+    }
+    virtual unsigned long mcParkDepth() const { return 0; }
+};
+
+class FullBackend : public CoherenceDomain
+{
+  public:
+    const void *mcSnapshot() const override { return this; }
+    void mcRestore(const void *snap) override { (void)snap; }
+    void mcEncode(McEncoder &enc) const override { (void)enc; }
+    void mcEncodeWire(McEncoder &enc, const unsigned char *blob,
+                      unsigned long len) const override
+    {
+        (void)enc;
+        (void)blob;
+        (void)len;
+    }
+    bool mcQuiescent(char **why) const override
+    {
+        (void)why;
+        return true;
+    }
+    unsigned long mcParkDepth() const override { return 1; }
+};
+
+class StatelessBackend : public CoherenceDomain
+{
+  public:
+    int kind() const { return 1; }
+};
+
+class DerivedTuning : public FullBackend
+{
+  public:
+    int tweak() const { return 2; }
+};

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Hermetic mocks for the cnicheck fixture suite: just enough surface for
+ * both analyzer engines (libclang and the token fallback) to resolve the
+ * names the checks care about, with no system-header dependency. These
+ * are NOT the real project types — fixtures pin analyzer behavior, they
+ * never link.
+ *
+ * This header itself is not analyzed (only *.cc fixtures are), so
+ * declarations here can mirror banned shapes without expectations.
+ */
+
+#ifndef CNICHECK_FIXTURE_SUPPORT_HPP
+#define CNICHECK_FIXTURE_SUPPORT_HPP
+
+namespace std
+{
+
+template <class T> struct remove_ref { using type = T; };
+template <class T> struct remove_ref<T &> { using type = T; };
+template <class T>
+typename remove_ref<T>::type &&
+move(T &&v)
+{
+    return static_cast<typename remove_ref<T>::type &&>(v);
+}
+template <class T>
+const T &
+as_const(T &v)
+{
+    return v;
+}
+
+void *memcpy(void *dst, const void *src, unsigned long n);
+void *memset(void *dst, int c, unsigned long n);
+
+template <class A, class B> struct pair
+{
+    A first;
+    B second;
+};
+
+template <class K, class V> struct unordered_map
+{
+    using value_type = pair<K, V>;
+    value_type *begin();
+    value_type *end();
+    const value_type *begin() const;
+    const value_type *end() const;
+    value_type *find(const K &);
+    unsigned long count(const K &) const;
+    V &operator[](const K &);
+};
+
+template <class K> struct unordered_set
+{
+    K *begin();
+    K *end();
+    unsigned long count(const K &) const;
+};
+
+template <class K, class V> struct map
+{
+    using value_type = pair<K, V>;
+    value_type *begin();
+    value_type *end();
+    const value_type *begin() const;
+    const value_type *end() const;
+    V &operator[](const K &);
+};
+
+template <class K> struct set
+{
+    K *begin();
+    K *end();
+};
+
+template <class T> struct vector
+{
+    vector();
+    vector(const T *first, const T *last);
+    T *begin();
+    T *end();
+    const T *begin() const;
+    const T *end() const;
+    T *data();
+    const T *data() const;
+    unsigned long size() const;
+};
+
+template <class T, unsigned long N> struct array
+{
+    T elems[N];
+    T *begin() { return elems; }
+    T *end() { return elems + N; }
+};
+
+namespace chrono
+{
+struct steady_clock { static long long now(); };
+struct system_clock { static long long now(); };
+struct high_resolution_clock { static long long now(); };
+} // namespace chrono
+
+struct random_device
+{
+    unsigned operator()();
+};
+
+} // namespace std
+
+extern "C" {
+int rand();
+void srand(unsigned seed);
+long random();
+long time(long *out);
+long clock();
+}
+
+namespace cni
+{
+
+using Tick = unsigned long long;
+
+template <class Sig, unsigned long Bytes = 112> class InlineFn;
+template <class R, class... As, unsigned long Bytes>
+class InlineFn<R(As...), Bytes>
+{
+  public:
+    InlineFn() {}
+    template <class F> InlineFn(F f) { (void)f; }
+    R operator()(As... as) { return R(); }
+};
+
+using Callback = InlineFn<void(), 112>;
+using BarrierFn = InlineFn<void(Tick), 112>;
+
+struct EventQueue
+{
+    template <class F> void scheduleAt(Tick t, F f)
+    {
+        (void)t;
+        (void)f;
+    }
+    template <class F> void scheduleIn(Tick dt, F f)
+    {
+        (void)dt;
+        (void)f;
+    }
+    template <class F>
+    void scheduleChoice(int ch, const void *meta, Tick dt, F f)
+    {
+        (void)ch;
+        (void)meta;
+        (void)dt;
+        (void)f;
+    }
+};
+
+template <class F>
+void
+postBarrier(int shard, F f)
+{
+    (void)shard;
+    (void)f;
+}
+
+struct MsgPayload
+{
+    unsigned char *data();
+    const unsigned char *data() const;
+    unsigned long size() const;
+    bool empty() const;
+};
+
+struct NetMsg
+{
+    int src;
+    int dst;
+    MsgPayload payload;
+};
+
+struct NodeMemory
+{
+    void read(unsigned long addr, unsigned char *dst, unsigned long n);
+    void write(unsigned long addr, const unsigned char *src,
+               unsigned long n);
+};
+
+} // namespace cni
+
+#endif // CNICHECK_FIXTURE_SUPPORT_HPP

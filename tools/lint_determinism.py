@@ -1,29 +1,34 @@
 #!/usr/bin/env python3
-"""Determinism lint for the simulation core.
+"""Banned-header lint for the deterministic simulation core.
 
 Every simulation in this repository must be exactly reproducible: the
 serial kernel executes events in (tick, seq) order, the sharded kernel
 merges cross-shard effects canonically, and the model checker replays
 snapshots. All three guarantees die quietly the moment nondeterminism
-sneaks into src/{sim,net,coh,core,bus,mem} — a wall-clock seed, an
-unordered container whose iteration order leaks into event order or
-stats, a pointer used as a map key.
+sneaks into src/{sim,net,coh,core,bus,mem}.
 
-This lint greps the deterministic core for the known footguns:
+The heavy lifting lives in tools/cnicheck.py, which runs real AST (or
+token-level) analysis for the constructs a regex cannot classify:
+wall-clock *calls*, entropy sources reached through typedefs/aliases,
+unordered-container *iteration* (lookups are fine), pointer-keyed maps,
+dangling lambda captures, CoW payload hygiene, and model-checker seam
+completeness. This lint keeps only the rule an include line expresses
+better than any AST walk: the deterministic core must not even include
+the headers those facilities come from. An `#include <random>` with no
+uses yet is exactly the kind of latent footgun worth rejecting at the
+border.
 
-  - rand()/random()/srand() and std::random_device (unseeded entropy)
-  - time(), clock(), gettimeofday(), std::chrono::system_clock /
-    steady_clock (wall-clock values entering the simulation)
-  - std::unordered_map / std::unordered_set (iteration order is
-    implementation-defined; the ordered containers cost nothing at
-    simulation scale)
-  - containers keyed by pointers (address-space layout becomes
-    simulation-visible)
+Banned headers in the core:
 
-Findings are fatal unless listed in tools/determinism_allowlist.txt as
-`path:pattern` (one per line, '#' comments), which exists so a reviewed,
-justified exception is visible in the diff rather than silently waved
-through.
+  - <random>            entropy engines / random_device
+  - <chrono>            host clock readings
+  - <ctime> / <time.h>  time(), clock(), gmtime(), ...
+  - <sys/time.h>        gettimeofday()
+
+Findings are fatal unless listed in tools/determinism_allowlist.txt
+(shared with cnicheck) as `path:banned-include` (one per line, '#'
+comments), which exists so a reviewed, justified exception is visible in
+the diff rather than silently waved through.
 
 Usage: tools/lint_determinism.py [--root REPO_ROOT]
 Exit codes: 0 clean, 1 findings, 2 usage error.
@@ -34,62 +39,22 @@ import pathlib
 import re
 import sys
 
-# Directories forming the deterministic simulation core.
+# Directories forming the deterministic simulation core. Keep in sync
+# with CORE_DIRS in tools/cnicheck.py.
 CORE_DIRS = ["src/sim", "src/net", "src/coh", "src/core", "src/bus",
              "src/mem"]
 
-# (name, regex, why). Patterns run on comment-stripped lines.
-RULES = [
-    ("rand",
-     re.compile(r"\b(?:std::)?s?rand(?:om)?\s*\("),
-     "unseeded entropy makes runs unreproducible"),
-    ("random-device",
-     re.compile(r"\bstd::random_device\b"),
-     "hardware entropy source in the simulation core"),
-    ("wall-clock",
-     re.compile(r"\b(?:std::)?(?:time|clock|gettimeofday)\s*\("),
-     "wall-clock time entering simulation state"),
-    ("chrono-clock",
-     re.compile(r"\bstd::chrono::(?:system|steady|high_resolution)"
-                r"_clock\b"),
-     "host clock readings are not reproducible"),
-    ("unordered-container",
-     re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b"),
-     "iteration order is implementation-defined; use std::map/std::set"),
-    ("pointer-keyed-map",
-     re.compile(r"\bstd::(?:map|set)\s*<\s*(?:const\s+)?[A-Za-z_]\w*"
-                r"(?:::\w+)*\s*\*"),
-     "pointer keys order by address-space layout"),
-]
+RULE = "banned-include"
 
-COMMENT_RE = re.compile(r"//.*$")
+BANNED_HEADERS = {
+    "random": "entropy engines make runs unreproducible",
+    "chrono": "host clock readings are not reproducible",
+    "ctime": "wall-clock time entering simulation state",
+    "time.h": "wall-clock time entering simulation state",
+    "sys/time.h": "gettimeofday() wall-clock readings",
+}
 
-
-def strip_comments(text):
-    """Drop // and /* */ comments, preserving line structure."""
-    out = []
-    in_block = False
-    for line in text.splitlines():
-        if in_block:
-            end = line.find("*/")
-            if end < 0:
-                out.append("")
-                continue
-            line = line[end + 2:]
-            in_block = False
-        # Inline /* ... */ runs (possibly several per line).
-        while True:
-            start = line.find("/*")
-            if start < 0:
-                break
-            end = line.find("*/", start + 2)
-            if end < 0:
-                line = line[:start]
-                in_block = True
-                break
-            line = line[:start] + line[end + 2:]
-        out.append(COMMENT_RE.sub("", line))
-    return out
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^>"]+)[>"]')
 
 
 def load_allowlist(path):
@@ -128,27 +93,28 @@ def main():
                 continue
             scanned += 1
             rel = path.relative_to(root).as_posix()
-            lines = strip_comments(path.read_text())
-            for lineno, line in enumerate(lines, start=1):
-                for name, rx, why in RULES:
-                    if not rx.search(line):
-                        continue
-                    if f"{rel}:{name}" in allowed:
-                        continue
-                    findings.append(
-                        f"{rel}:{lineno}: [{name}] {line.strip()}\n"
-                        f"    {why}")
+            for lineno, line in enumerate(
+                    path.read_text().splitlines(), start=1):
+                m = INCLUDE_RE.match(line)
+                if not m or m.group(1) not in BANNED_HEADERS:
+                    continue
+                if f"{rel}:{RULE}" in allowed:
+                    continue
+                findings.append(
+                    f"{rel}:{lineno}: [{RULE}] {line.strip()}\n"
+                    f"    {BANNED_HEADERS[m.group(1)]}")
 
     if findings:
         print(f"lint_determinism: {len(findings)} finding(s) in "
               f"{scanned} core files:\n")
         print("\n".join(findings))
-        print("\nFix the code, or add 'path:rule' to "
+        print(f"\nFix the include, or add 'path:{RULE}' to "
               "tools/determinism_allowlist.txt with a justifying "
               "comment.")
         return 1
 
-    print(f"lint_determinism: {scanned} core files clean")
+    print(f"lint_determinism: {scanned} core files clean "
+          f"({len(BANNED_HEADERS)} banned headers)")
     return 0
 
 
