@@ -5,17 +5,27 @@
  * experiment behind the directory v2 protocol (ROADMAP: sparse
  * directory + 3-hop forwarding).
  *
- * Every node repeatedly scans a working set of cached blocks whose
- * interleaved homes are 3/4 remote; the directory must track all of
- * them. Coverage = dirEntries / blocks-per-home: at 1.0 the sweep runs
- * the exact full map (zero recalls by construction); below 1.0 every
- * allocation into a full set recalls a victim, the recalled lines miss
- * again on the next pass, and the thrash shows up as recalls/evictions
- * and a longer run. Concurrently, `sharing` senders stream messages at
- * node 0 (CNI16Qm's memory-homed receive queue), so the proc/device
- * block hand-offs produce owner-forwarded (Fwd) misses — the path where
- * 3-hop forwarding saves a fabric traversal per miss, visible in the
- * mean remote-miss latency column.
+ * The workload itself (scan + hotspot, see sweep/runner.hpp's
+ * "coverage" entry) runs per node: every node repeatedly scans a
+ * working set of cached blocks whose interleaved homes are 3/4 remote;
+ * the directory must track all of them. Coverage = dirEntries /
+ * blocks-per-home: at 1.0 the sweep runs the exact full map (zero
+ * recalls by construction); below 1.0 every allocation into a full set
+ * recalls a victim, the recalled lines miss again on the next pass, and
+ * the thrash shows up as recalls/evictions and a longer run.
+ * Concurrently, `sharing` senders stream messages at node 0 (CNI16Qm's
+ * memory-homed receive queue), so the proc/device block hand-offs
+ * produce owner-forwarded (Fwd) misses — the path where 3-hop
+ * forwarding saves a fabric traversal per miss, visible in the mean
+ * remote-miss latency column.
+ *
+ * The table is one SweepSpec (sweep/spec.hpp): dir-entries × sharing ×
+ * dir-hops over the "coverage" workload, so:
+ *
+ *   --spec PATH    write the sweep's JSON job form — POST it to cnid
+ *                  and the daemon runs the identical sweep
+ *   --points PATH  write the per-point result documents as NDJSON,
+ *                  byte-identical to the daemon's /results stream
  *
  * Defaults: 4 nodes, mesh, CNI16Qm. --net picks another routed fabric;
  * --dir-assoc resizes the sets; per-run config+stats land in
@@ -23,132 +33,71 @@
  * recall counters appear in it.
  */
 
-#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "sim/cli.hpp"
 #include "sim/logging.hpp"
 #include "sim/report.hpp"
+#include "sweep/from_cli.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
 
 using namespace cni;
 
 namespace
 {
 
-constexpr int kWorkingBlocks = 64; //!< per node; == tracked blocks/home
-constexpr int kScanPasses = 4;
-constexpr int kMsgsPerSender = 6;
-constexpr std::size_t kMsgBytes = 96;
-/**
- * The sweep runs in two phases: every node's scan completes well before
- * this tick, then the hotspot messaging starts. The split keeps the
- * 3-hop vs 4-hop columns directly comparable — the scan phase is
- * hop-invariant by construction (its misses are memory-supplied, and
- * recall probes never use the 3-hop path), so any latency difference
- * comes from the owner-forwarded misses the messaging phase produces.
- */
-constexpr Tick kPhaseSplit = 150'000;
-
-struct CoverageResult
-{
-    Tick cycles = 0;
-    double remoteMissMean = 0;
-    std::uint64_t remoteMisses = 0;
-    std::uint64_t recalls = 0;
-    std::uint64_t evictions = 0;
-    std::uint64_t fwd3 = 0;
-};
-
 int
 entriesFor(double coverage, int assoc)
 {
     if (coverage >= 1.0)
         return 0; // exact full map
-    int entries = int(coverage * kWorkingBlocks);
+    int entries = int(coverage * sweep::kCoverageWorkingBlocks);
     entries -= entries % assoc;
     return entries < assoc ? assoc : entries;
 }
 
-CoverageResult
-run(const cli::Options &opts, double coverage, int sharing, int hops)
+double
+metricOr(const sweep::PointResult &r, const char *name, double def)
 {
-    const int nodes = opts.nodes ? *opts.nodes : 4;
-    const int assoc = opts.dirAssoc ? *opts.dirAssoc : 4;
-    MachineBuilder b = Machine::describe()
-                           .nodes(nodes)
-                           .ni("CNI16Qm")
-                           .net("mesh")
-                           .coherence("directory");
-    opts.applyNet(b);
-    // The sweep's own knobs win over --dir-*.
-    b.dirEntries(entriesFor(coverage, assoc)).dirAssoc(assoc).dirHops(hops);
-    Machine m(b.spec());
-
-    // Senders are capped by the machine size, and the receiver must
-    // expect exactly what they will send or the run never drains.
-    const int senders = std::min(sharing, nodes - 1);
-    const int expected = senders * kMsgsPerSender;
-    static int received;
-    received = 0;
-    m.endpoint(0).onMessage(1, [](const UserMsg &) -> CoTask<void> {
-        ++received;
-        co_return;
-    });
-
-    // The scan: every node stores through its working set repeatedly.
-    // All blocks stay cached (distinct lines), so with full coverage
-    // passes after the first are pure hits; under-covered directories
-    // recall tracked lines and the scan keeps missing remotely.
-    for (NodeId n = 0; n < nodes; ++n) {
-        m.spawn(n, [](Machine &m, NodeId n) -> CoTask<void> {
-            for (int pass = 0; pass < kScanPasses; ++pass) {
-                for (int i = 0; i < kWorkingBlocks; ++i) {
-                    co_await m.proc(n).write64(
-                        kMemBase + Addr(i) * kBlockBytes,
-                        (std::uint64_t(pass) << 32) | std::uint64_t(i));
-                }
-            }
-        }(m, n));
+    for (const auto &[k, v] : r.metrics) {
+        if (k == name)
+            return v;
     }
-    // Phase 2, the hotspot: `sharing` senders stream at node 0's
-    // memory-homed receive queue; the consumer/producer block hand-offs
-    // are the owner-forwarded misses under measurement.
-    std::vector<std::uint8_t> payload(kMsgBytes, 0x5a);
-    for (NodeId n = 1; n <= senders; ++n) {
-        m.spawn(n, [](Machine &m, NodeId n,
-                      const std::vector<std::uint8_t> &p) -> CoTask<void> {
-            co_await m.proc(n).delay(kPhaseSplit + Tick(n) * 40);
-            for (int i = 0; i < kMsgsPerSender; ++i) {
-                co_await m.endpoint(n).send(0, 1, p.data(), p.size());
-                co_await m.proc(n).delay(200);
-            }
-        }(m, n, payload));
+    return def;
+}
+
+/** Remove `flag PATH` from argv (the shared CLI owns the rest). */
+std::string
+stripPathFlag(int *argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < *argc; ++i) {
+        if (std::strcmp(argv[i], flag) != 0)
+            continue;
+        if (i + 1 >= *argc)
+            cni_fatal("%s needs a path argument", flag);
+        const std::string path = argv[i + 1];
+        for (int j = i; j + 2 < *argc; ++j)
+            argv[j] = argv[j + 2];
+        *argc -= 2;
+        return path;
     }
-    // The receiver also sits out phase 1: polling the memory-homed
-    // queue head would otherwise inject hop-dependent device misses
-    // into the middle of the scan.
-    m.spawn(0, [](Machine &m, int expected) -> CoTask<void> {
-        co_await m.proc(0).delay(kPhaseSplit);
-        co_await m.endpoint(0).pollUntil(
-            [expected] { return received >= expected; });
-    }(m, expected));
+    return "";
+}
 
-    CoverageResult r;
-    r.cycles = m.run();
-    const StatSet agg = m.aggregateStats();
-    r.remoteMissMean = agg.scalar("remote_miss_latency").mean();
-    r.remoteMisses = agg.scalar("remote_miss_latency").count();
-    r.recalls = agg.counter("dir_recalls");
-    r.evictions = agg.counter("dir_evictions");
-    r.fwd3 = agg.counter("fwd3_supplies");
-
-    char label[64];
-    std::snprintf(label, sizeof label, "cov%.2f/s%d/%dhop", coverage,
-                  sharing, hops);
-    report::add(label, m.report());
-    return r;
+void
+writeFileOrDie(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    if (!out)
+        cni_fatal("cannot write %s", path.c_str());
+    out << content;
 }
 
 } // namespace
@@ -157,32 +106,111 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
+    const std::string specPath = stripPathFlag(&argc, argv, "--spec");
+    const std::string pointsPath = stripPathFlag(&argc, argv, "--points");
     const cli::Options opts = cli::parse(
         argc, argv,
-        "(directory coverage x sharing sweep, 3-hop vs 4-hop)");
+        "[--spec PATH] [--points PATH]\n"
+        "       (directory coverage x sharing sweep, 3-hop vs 4-hop)");
 
+    const int nodes = opts.nodes ? *opts.nodes : 4;
+    const int assoc = opts.dirAssoc ? *opts.dirAssoc : 4;
     const std::vector<double> coverages = {1.0, 0.5, 0.25};
     const std::vector<int> sharings = {1, 3};
 
+    // The table as one first-class sweep. Machine-wide CLI flags
+    // overlay the base; the axes (the sweep's own knobs) win over
+    // --dir-entries/--dir-hops, exactly as the nested loops did.
+    sweep::SweepSpec spec;
+    spec.workload = "coverage";
+    spec.base = {{"ni", "CNI16Qm"},
+                 {"net", "mesh"},
+                 {"coherence", "directory"}};
+    for (const auto &[k, v] : sweep::cliNetParams(opts))
+        sweep::bindParam(&spec.base, k, v);
+    sweep::bindParam(&spec.base, "nodes", std::to_string(nodes));
+    sweep::bindParam(&spec.base, "dir-assoc", std::to_string(assoc));
+
+    sweep::SweepAxis entriesAxis{"dir-entries", {}};
+    for (const double cov : coverages)
+        entriesAxis.values.push_back(
+            std::to_string(entriesFor(cov, assoc)));
+    spec.axes = {entriesAxis,
+                 {"sharing", {"1", "3"}},
+                 {"dir-hops", {"4", "3"}}};
+    spec.seeds = {opts.seedOr(1)};
+
+    // Every cell of this table must build — an invalid flag combination
+    // is a usage error, reported with the validator's message.
+    const std::vector<sweep::SweepPoint> points = spec.expand();
+    for (const sweep::SweepPoint &p : points) {
+        std::string why;
+        if (!sweep::validatePoint(p, &why))
+            cni_fatal("invalid flags: %s", why.c_str());
+    }
+
+    if (!specPath.empty())
+        writeFileOrDie(specPath, spec.toJson() + "\n");
+
+    // Duplicate-free expansion can merge table rows (e.g. a --dir-assoc
+    // large enough that two coverages clamp to the same entry count);
+    // the (entries, sharing, hops) index serves every row either way.
+    std::map<std::tuple<std::string, std::string, std::string>,
+             const sweep::PointResult *>
+        byCell;
+    std::vector<sweep::PointResult> results;
+    results.reserve(points.size());
+    std::string ndjson;
+    for (const sweep::SweepPoint &p : points) {
+        results.push_back(sweep::runPoint(p, spec.timeoutTicks));
+        const sweep::PointResult &r = results.back();
+        byCell[{sweep::paramOr(p.params, "dir-entries", ""),
+                sweep::paramOr(p.params, "sharing", ""),
+                sweep::paramOr(p.params, "dir-hops", "")}] = &r;
+        ndjson += r.doc;
+        ndjson += '\n';
+    }
+    if (!pointsPath.empty())
+        writeFileOrDie(pointsPath, ndjson);
+
     std::printf("Directory coverage sweep: %d-block working set/node, "
                 "%d scan passes, hotspot %zu-byte messages\n\n",
-                kWorkingBlocks, kScanPasses, kMsgBytes);
+                sweep::kCoverageWorkingBlocks, sweep::kCoverageScanPasses,
+                sweep::kCoverageMsgBytes);
     std::printf("%9s%9s%6s%12s%14s%12s%10s%11s%8s\n", "coverage",
                 "sharing", "hops", "cycles", "rmiss-mean", "rmisses",
                 "recalls", "evictions", "fwd3");
-    for (const double cov : coverages) {
+    for (std::size_t c = 0; c < coverages.size(); ++c) {
         for (const int s : sharings) {
             for (const int hops : {4, 3}) {
-                const CoverageResult r = run(opts, cov, s, hops);
+                const auto it =
+                    byCell.find({entriesAxis.values[c],
+                                 std::to_string(s),
+                                 std::to_string(hops)});
+                cni_assert(it != byCell.end());
+                const sweep::PointResult &r = *it->second;
+                if (r.status != "ok") {
+                    cni_fatal("point %s did not complete: %s",
+                              r.key.c_str(), r.status.c_str());
+                }
                 std::printf(
                     "%9.2f%9d%6d%12llu%14.1f%12llu%10llu%11llu%8llu\n",
-                    cov, s, hops,
-                    static_cast<unsigned long long>(r.cycles),
-                    r.remoteMissMean,
-                    static_cast<unsigned long long>(r.remoteMisses),
-                    static_cast<unsigned long long>(r.recalls),
-                    static_cast<unsigned long long>(r.evictions),
-                    static_cast<unsigned long long>(r.fwd3));
+                    coverages[c], s, hops,
+                    static_cast<unsigned long long>(
+                        metricOr(r, "cycles", 0)),
+                    metricOr(r, "remote_miss_latency_mean", 0),
+                    static_cast<unsigned long long>(
+                        metricOr(r, "remote_misses", 0)),
+                    static_cast<unsigned long long>(
+                        metricOr(r, "dir_recalls", 0)),
+                    static_cast<unsigned long long>(
+                        metricOr(r, "dir_evictions", 0)),
+                    static_cast<unsigned long long>(
+                        metricOr(r, "fwd3_supplies", 0)));
+                char label[64];
+                std::snprintf(label, sizeof label, "cov%.2f/s%d/%dhop",
+                              coverages[c], s, hops);
+                report::add(label, r.machineJson);
             }
         }
     }

@@ -11,7 +11,7 @@
 namespace cni
 {
 
-bool DirectoryFabric::testSkipFwdDoneHold = false;
+std::atomic<bool> DirectoryFabric::testSkipFwdDoneHold{false};
 
 const char *
 DirectoryFabric::opName(Op op)

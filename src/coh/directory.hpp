@@ -68,6 +68,7 @@
 #ifndef CNI_COH_DIRECTORY_HPP
 #define CNI_COH_DIRECTORY_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -136,8 +137,13 @@ class DirectoryFabric : public CoherenceDomain, public NiPort
      * instead of also holding for the requester's FwdDone — the exact
      * race window the FwdDone hold exists to close. The checker must
      * find the resulting stale-copy violation (tests/mc).
+     *
+     * Atomic: the flag is process-global and directory machines may run
+     * on several host threads at once (sweep daemon workers); it is
+     * constant-false outside the single-threaded model-check rigs, so
+     * relaxed loads on the protocol path cost nothing.
      */
-    static bool testSkipFwdDoneHold;
+    static std::atomic<bool> testSkipFwdDoneHold;
 
   protected:
     /**

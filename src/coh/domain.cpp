@@ -82,6 +82,9 @@ CoherenceRegistry &
 CoherenceRegistry::instance()
 {
     static CoherenceRegistry *reg = [] {
+        // First lookup may come from inside a Machine build; the
+        // static-init guard serializes this block (sim/audit.hpp).
+        audit::BootstrapScope bootstrap;
         auto *r = new CoherenceRegistry();
         detail::registerSnoopDomain(*r);
         detail::registerDirectoryDomain(*r);

@@ -91,6 +91,14 @@ MachineSpec::valid(std::string *why) const
 
     if (numNodes < 1)
         return fail("a machine needs at least one node");
+    // Upper bounds exist because specs now arrive over the network
+    // (the sweep daemon): a "machine" of a billion nodes is a resource
+    // exhaustion request, not an experiment.
+    if (numNodes > kMaxNodes) {
+        return fail("numNodes (" + std::to_string(numNodes) +
+                    ") exceeds the supported maximum of " +
+                    std::to_string(kMaxNodes));
+    }
 
     if (!NetRegistry::instance().known(net.topology)) {
         return fail("unknown interconnect '" + net.topology +
@@ -148,9 +156,19 @@ MachineSpec::valid(std::string *why) const
                     "geometry: backend '" + coherence +
                     "' has no directory for them to shape");
     }
+    if (dir.entries > kMaxDirEntries) {
+        return fail("dirEntries (" + std::to_string(dir.entries) +
+                    ") exceeds the supported maximum of " +
+                    std::to_string(kMaxDirEntries));
+    }
     if (dir.updThreshold < 1) {
         return fail("hybridThreshold must be >= 1 (sharers need at least "
                     "one unread update before flipping)");
+    }
+    if (dir.updThreshold > 255) {
+        return fail("hybridThreshold must be <= 255: the per-line "
+                    "unread-update counter saturates at 255, so a "
+                    "larger threshold could never fire");
     }
     if (dir.updThreshold != DirParams{}.updThreshold &&
         !coh->adaptiveUpdate) {
@@ -179,10 +197,18 @@ MachineSpec::valid(std::string *why) const
         return fail("link bandwidth must be at least one byte per cycle");
     if (threads < 0)
         return fail("threads must be >= 0 (0 = classic serial kernel)");
+    if (threads > kMaxThreads) {
+        return fail("threads (" + std::to_string(threads) +
+                    ") exceeds the supported maximum of " +
+                    std::to_string(kMaxThreads) +
+                    " host worker threads");
+    }
     const bool dimmed = net.meshX > 0 || net.meshY > 0;
+    // 64-bit product: two large ints could otherwise overflow to
+    // exactly numNodes and smuggle an absurd grid past the check.
     if (dimmed &&
         (net.meshX < 1 || net.meshY < 1 ||
-         net.meshX * net.meshY != numNodes)) {
+         static_cast<long long>(net.meshX) * net.meshY != numNodes)) {
         return fail("mesh dims " + std::to_string(net.meshX) + "x" +
                     std::to_string(net.meshY) + " do not cover " +
                     std::to_string(numNodes) + " nodes");
@@ -237,6 +263,11 @@ MachineSpec::valid(std::string *why) const
         }
         if (ns.contexts < 1)
             return fail("each node needs at least one context" + at);
+        if (ns.contexts > kMaxContexts) {
+            return fail("contexts (" + std::to_string(ns.contexts) +
+                        ") exceeds the supported maximum of " +
+                        std::to_string(kMaxContexts) + at);
+        }
         if (ns.contexts > 1 && !t->queueBased) {
             return fail("multiple contexts require the CNIiQ family's "
                         "per-context queues: " +

@@ -43,6 +43,7 @@
 #include "ni/cniq.hpp"
 #include "ni/net_iface.hpp"
 #include "proc/proc.hpp"
+#include "sim/audit.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/parallel_kernel.hpp"
 #include "sim/task.hpp"
@@ -52,6 +53,16 @@ namespace cni
 
 class Machine;
 class MachineBuilder;
+
+// Hard resource ceilings enforced by MachineSpec::valid(). Machine
+// descriptions can arrive from untrusted input (the sweep daemon's
+// HTTP jobs), so "build a machine" must not be spellable as "allocate
+// everything": absurd sizes are structured validation errors, not
+// OOM kills.
+constexpr int kMaxNodes = 65536;
+constexpr int kMaxThreads = 4096;   //!< host worker threads
+constexpr int kMaxContexts = 4096;  //!< user processes per node
+constexpr int kMaxDirEntries = 1 << 24; //!< per-home sparse entries
 
 /** Fully resolved description of one node. */
 struct NodeSpec
@@ -490,6 +501,9 @@ class Machine
     }
 
     MachineSpec spec_;
+    //! Counts this instance live so registry mutation can assert
+    //! against racing a running machine (sim/audit.hpp).
+    audit::MachineScope auditScope_;
     EventQueue eq_;
     std::unique_ptr<ParallelKernel> kernel_; //!< sharded kernel, if on
     std::unique_ptr<Network> net_;

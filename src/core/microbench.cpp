@@ -29,20 +29,39 @@ usesCachableQueues(const MachineSpec &spec)
 }
 
 void
-addRunReport(const char *bench, const Machine &m, std::size_t msgBytes)
+addRunReport(const char *bench, const Machine &m, std::size_t msgBytes,
+             const MeasureOpts &opts)
 {
-    if (!report::enabled())
+    ReportSink &sink = opts.sink ? *opts.sink : report::global();
+    if (!sink.enabled())
         return;
-    report::add(std::string(bench) + " " + m.spec().label() + " " +
-                    std::to_string(msgBytes) + "B",
-                m.report());
+    sink.add(std::string(bench) + " " + m.spec().label() + " " +
+                 std::to_string(msgBytes) + "B",
+             m.report());
+}
+
+/**
+ * Run to completion, or — with a timeout — until the tick budget runs
+ * out. Returns false iff the workload is still unfinished at the
+ * budget. Without a timeout this is Machine::run(), which treats a
+ * wedged workload as fatal.
+ */
+bool
+runMeasured(Machine &m, const MeasureOpts &opts)
+{
+    if (opts.timeoutTicks == 0) {
+        m.run();
+        return true;
+    }
+    m.runUntil(opts.timeoutTicks);
+    return m.workloadDone();
 }
 
 } // namespace
 
 LatencyResult
 roundTripLatency(const MachineSpec &spec, std::size_t msgBytes, int rounds,
-                 int warmup)
+                 int warmup, const MeasureOpts &opts)
 {
     // Steady state requires wrapping the largest cachable queue at least
     // once so slot writes become address-only upgrades, not cold misses.
@@ -91,9 +110,14 @@ roundTripLatency(const MachineSpec &spec, std::size_t msgBytes, int rounds,
         co_await e1.pollUntil([=] { return *seen >= total; });
     }(e1, warmup + rounds, &pings));
 
-    sys.run();
-    addRunReport("roundTripLatency", sys, msgBytes);
+    const bool completed = runMeasured(sys, opts);
+    addRunReport("roundTripLatency", sys, msgBytes, opts);
 
+    if (!completed) {
+        LatencyResult res;
+        res.completed = false;
+        return res;
+    }
     cni_assert(!samples.empty());
     const double mean =
         std::accumulate(samples.begin(), samples.end(), 0.0) /
@@ -106,7 +130,7 @@ roundTripLatency(const MachineSpec &spec, std::size_t msgBytes, int rounds,
 
 BandwidthResult
 streamBandwidth(const MachineSpec &spec, std::size_t msgBytes, int messages,
-                int warmup)
+                int warmup, const MeasureOpts &opts)
 {
     // Steady state requires wrapping the largest cachable queue (128
     // slots) before the timed window starts, so slot writes are upgrades
@@ -150,8 +174,13 @@ streamBandwidth(const MachineSpec &spec, std::size_t msgBytes, int messages,
         co_await e1.pollUntil([=] { return *received >= messages; });
     }(e1, messages, &received));
 
-    sys.run();
-    addRunReport("streamBandwidth", sys, msgBytes);
+    const bool completed = runMeasured(sys, opts);
+    addRunReport("streamBandwidth", sys, msgBytes, opts);
+    if (!completed) {
+        BandwidthResult res;
+        res.completed = false;
+        return res;
+    }
     cni_assert(endTick > warmTick);
 
     const double bytes =

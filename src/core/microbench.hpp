@@ -18,9 +18,27 @@
 #include <cstddef>
 
 #include "core/machine.hpp"
+#include "sim/report.hpp"
 
 namespace cni
 {
+
+/**
+ * Shared knobs for the measurement helpers.
+ *
+ * `sink` scopes the per-run machine report: when set, the run document
+ * goes there instead of the process-wide `report::global()` collection,
+ * so concurrent sweeps never interleave documents. `timeoutTicks > 0`
+ * bounds the simulated run: instead of aborting the process on a
+ * wedged workload, the helper returns with `completed == false`
+ * (required by the sweep daemon, where one bad point must not kill the
+ * job server).
+ */
+struct MeasureOpts
+{
+    ReportSink *sink = nullptr;
+    Tick timeoutTicks = 0;
+};
 
 /**
  * The model's maximum cache-to-cache local-queue bandwidth (MB/s): per
@@ -35,6 +53,7 @@ struct LatencyResult
 {
     double microseconds = 0; //!< mean round-trip latency
     Tick cycles = 0;         //!< mean in processor cycles
+    bool completed = true;   //!< false: hit MeasureOpts::timeoutTicks
 };
 
 /**
@@ -44,12 +63,14 @@ struct LatencyResult
  */
 LatencyResult roundTripLatency(const MachineSpec &spec,
                                std::size_t msgBytes, int rounds = 16,
-                               int warmup = 4);
+                               int warmup = 4,
+                               const MeasureOpts &opts = {});
 
 struct BandwidthResult
 {
     double megabytesPerSec = 0;
     double relativeToLocalMax = 0; //!< fraction of kLocalQueueMaxMBps
+    bool completed = true;         //!< false: hit MeasureOpts::timeoutTicks
 };
 
 /**
@@ -59,7 +80,8 @@ struct BandwidthResult
  */
 BandwidthResult streamBandwidth(const MachineSpec &spec,
                                 std::size_t msgBytes, int messages = 64,
-                                int warmup = 8);
+                                int warmup = 8,
+                                const MeasureOpts &opts = {});
 
 } // namespace cni
 

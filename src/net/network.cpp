@@ -279,6 +279,9 @@ NetRegistry &
 NetRegistry::instance()
 {
     static NetRegistry *reg = [] {
+        // First lookup may come from inside a Machine build; the
+        // static-init guard serializes this block (sim/audit.hpp).
+        audit::BootstrapScope bootstrap;
         auto *r = new NetRegistry();
         detail::registerIdealNet(*r);
         detail::registerMeshNet(*r);

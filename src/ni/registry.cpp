@@ -8,6 +8,9 @@ NiRegistry::instance()
 {
     static NiRegistry reg;
     static const bool builtinsRegistered = [] {
+        // First lookup may come from inside a Machine build; the
+        // static-init guard serializes this block (sim/audit.hpp).
+        audit::BootstrapScope bootstrap;
         detail::registerNi2wModel(reg);
         detail::registerCni4Model(reg);
         detail::registerCniqModels(reg);

@@ -1,0 +1,57 @@
+#include "sim/audit.hpp"
+
+#include <atomic>
+
+#include "sim/logging.hpp"
+
+namespace cni::audit
+{
+
+namespace
+{
+std::atomic<int> g_liveMachines{0};
+// Thread-local: the bootstrap exemption must only cover the thread
+// actually running the magic-static initializer, not unrelated
+// threads that happen to register concurrently.
+thread_local int t_bootstrapDepth = 0;
+} // namespace
+
+int
+liveMachines()
+{
+    return g_liveMachines.load(std::memory_order_acquire);
+}
+
+void
+assertRegistrationAllowed(const char *what)
+{
+    const int live = liveMachines();
+    if (live > 0 && t_bootstrapDepth == 0) {
+        cni_panic("registering a %s while %d machine(s) are live: "
+                  "registries are read-only once simulation starts "
+                  "(register models before building machines)",
+                  what, live);
+    }
+}
+
+MachineScope::MachineScope()
+{
+    g_liveMachines.fetch_add(1, std::memory_order_acq_rel);
+}
+
+MachineScope::~MachineScope()
+{
+    g_liveMachines.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+BootstrapScope::BootstrapScope()
+{
+    ++t_bootstrapDepth;
+}
+
+BootstrapScope::~BootstrapScope()
+{
+    --t_bootstrapDepth;
+}
+
+} // namespace cni::audit

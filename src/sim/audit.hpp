@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Process-level concurrency audit hooks.
+ *
+ * Machines are self-contained: two Machine instances in one process
+ * must never share mutable state (the sweep daemon runs one per worker
+ * thread). The registries are the one deliberate process-wide
+ * structure, and they are read-only once simulation starts — these
+ * hooks turn that contract into a runtime assertion instead of a
+ * comment. Every live Machine holds a MachineScope; Registry::register_
+ * panics while any machine is alive.
+ */
+
+#ifndef CNI_SIM_AUDIT_HPP
+#define CNI_SIM_AUDIT_HPP
+
+namespace cni::audit
+{
+
+/** Number of Machine instances currently alive in this process. */
+int liveMachines();
+
+/**
+ * Panic unless registry mutation is currently allowed (no live
+ * machines). `what` names the registry for the message.
+ */
+void assertRegistrationAllowed(const char *what);
+
+/** RAII member of Machine: counts the instance as live. */
+class MachineScope
+{
+  public:
+    MachineScope();
+    ~MachineScope();
+
+    MachineScope(const MachineScope &) = delete;
+    MachineScope &operator=(const MachineScope &) = delete;
+};
+
+/**
+ * RAII exemption for a registry's own builtin registration. Each
+ * registry's instance() lazily registers its builtin models inside the
+ * magic-static initializer; the first lookup can come from inside a
+ * Machine build, when the live count is already nonzero. That is safe
+ * — the C++ static-init guard serializes the whole block, and no
+ * thread can observe the registry before it returns — so the
+ * initializer wraps itself in a BootstrapScope to tell the audit so.
+ */
+class BootstrapScope
+{
+  public:
+    BootstrapScope();
+    ~BootstrapScope();
+
+    BootstrapScope(const BootstrapScope &) = delete;
+    BootstrapScope &operator=(const BootstrapScope &) = delete;
+};
+
+} // namespace cni::audit
+
+#endif // CNI_SIM_AUDIT_HPP

@@ -1,5 +1,6 @@
 #include "sim/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,7 +9,10 @@ namespace cni
 
 namespace
 {
-bool verboseFlag = true;
+// Atomic: concurrent Machine runs (sweep daemon workers) read it while
+// another thread may flip it; a plain bool would be a benign-looking
+// data race that TSan rightly rejects.
+std::atomic<bool> verboseFlag{true};
 
 void
 vreport(const char *tag, const char *fmt, va_list ap)

@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/audit.hpp"
 #include "sim/logging.hpp"
 
 namespace cni
@@ -57,11 +58,18 @@ class Registry
     {
     }
 
-    /** Register a model; re-registering a name replaces it. */
+    /**
+     * Register a model; re-registering a name replaces it. Only legal
+     * while no Machine is alive: registries are read-only once
+     * simulation starts, so concurrent machines (the sweep daemon runs
+     * one per worker thread) can look models up without locks. A
+     * registration racing a live machine panics.
+     */
     void
     register_(const std::string &name, Traits traits, Factory fn)
     {
         cni_assert(fn != nullptr);
+        audit::assertRegistrationAllowed(what_);
         entries_[name] = Entry{std::move(traits), std::move(fn)};
     }
 

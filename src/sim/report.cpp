@@ -1,67 +1,67 @@
 #include "sim/report.hpp"
 
 #include <utility>
-#include <vector>
 
 #include "sim/json.hpp"
 
-namespace cni::report
+namespace cni
 {
-
-namespace
-{
-
-struct Run
-{
-    std::string label;
-    std::string json;
-};
-
-bool g_enabled = false;
-std::vector<Run> g_runs;
-
-} // namespace
 
 void
-enable(bool on)
+ReportSink::enable(bool on)
 {
-    g_enabled = on;
+    CniLockGuard lock(mu_);
+    enabled_ = on;
 }
 
 bool
-enabled()
+ReportSink::enabled() const
 {
-    return g_enabled;
+    CniLockGuard lock(mu_);
+    return enabled_;
 }
 
 void
-add(const std::string &label, const std::string &json)
+ReportSink::add(const std::string &label, const std::string &json)
 {
-    if (!g_enabled)
+    CniLockGuard lock(mu_);
+    if (!enabled_)
         return;
-    g_runs.push_back(Run{label, json});
+    runs_.push_back(Run{label, json});
 }
 
 std::size_t
-count()
+ReportSink::count() const
 {
-    return g_runs.size();
+    CniLockGuard lock(mu_);
+    return runs_.size();
 }
 
 void
-clear()
+ReportSink::clear()
 {
-    g_runs.clear();
+    CniLockGuard lock(mu_);
+    runs_.clear();
+}
+
+std::vector<ReportSink::Run>
+ReportSink::take()
+{
+    CniLockGuard lock(mu_);
+    std::vector<Run> out;
+    out.swap(runs_);
+    return out;
 }
 
 std::string
-drain(const std::string &binaryName)
+ReportSink::drain(const std::string &binaryName)
 {
+    const std::vector<Run> runs = take();
     JsonWriter w;
     w.beginObject();
     w.key("binary").value(binaryName);
     w.key("runs").beginArray();
-    for (const Run &r : g_runs) {
+    for (const Run &r : runs) {
         w.beginObject();
         w.key("label").value(r.label);
         w.key("report").raw(r.json);
@@ -69,8 +69,55 @@ drain(const std::string &binaryName)
     }
     w.endArray();
     w.endObject();
-    g_runs.clear();
     return w.str();
 }
 
-} // namespace cni::report
+namespace report
+{
+
+ReportSink &
+global()
+{
+    static ReportSink *sink = new ReportSink();
+    return *sink;
+}
+
+void
+enable(bool on)
+{
+    global().enable(on);
+}
+
+bool
+enabled()
+{
+    return global().enabled();
+}
+
+void
+add(const std::string &label, const std::string &json)
+{
+    global().add(label, json);
+}
+
+std::size_t
+count()
+{
+    return global().count();
+}
+
+void
+clear()
+{
+    global().clear();
+}
+
+std::string
+drain(const std::string &binaryName)
+{
+    return global().drain(binaryName);
+}
+
+} // namespace report
+
+} // namespace cni

@@ -1,0 +1,305 @@
+#include "sweep/httpd.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace cni::sweep
+{
+
+namespace
+{
+
+constexpr std::size_t kMaxHeaderBytes = 32 * 1024;
+
+/** Append-until-delimiter/length reader over a blocking socket. */
+bool
+recvSome(int fd, std::string *buf)
+{
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0)
+        return false;
+    buf->append(chunk, std::size_t(n));
+    return true;
+}
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        off += std::size_t(n);
+    }
+    return true;
+}
+
+} // namespace
+
+const char *
+httpStatusText(int status)
+{
+    switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    default: return "Internal Server Error";
+    }
+}
+
+std::string
+HttpRequest::queryParam(const std::string &name,
+                        const std::string &def) const
+{
+    std::size_t pos = 0;
+    while (pos < query.size()) {
+        std::size_t amp = query.find('&', pos);
+        if (amp == std::string::npos)
+            amp = query.size();
+        const std::size_t eq = query.find('=', pos);
+        if (eq != std::string::npos && eq < amp &&
+            query.compare(pos, eq - pos, name) == 0)
+            return query.substr(eq + 1, amp - eq - 1);
+        pos = amp + 1;
+    }
+    return def;
+}
+
+HttpServer::HttpServer(Handler handler, std::size_t maxBodyBytes)
+    : handler_(std::move(handler)), maxBodyBytes_(maxBodyBytes)
+{
+}
+
+HttpServer::~HttpServer()
+{
+    stop();
+}
+
+bool
+HttpServer::start(const std::string &host, int port, std::string *err)
+{
+    auto fail = [&](const std::string &what) {
+        if (err)
+            *err = what + ": " + std::strerror(errno);
+        return false;
+    };
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return fail("socket");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        if (err)
+            *err = "bad listen address '" + host + "'";
+        return false;
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) < 0) {
+        ::close(fd);
+        return fail("bind");
+    }
+    if (::listen(fd, 64) < 0) {
+        ::close(fd);
+        return fail("listen");
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) < 0) {
+        ::close(fd);
+        return fail("getsockname");
+    }
+
+    {
+        CniLockGuard lock(mu_);
+        listenFd_ = fd;
+        port_ = ntohs(addr.sin_port);
+        stopping_ = false;
+    }
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+int
+HttpServer::port() const
+{
+    CniLockGuard lock(mu_);
+    return port_;
+}
+
+void
+HttpServer::stop()
+{
+    int fd = -1;
+    {
+        CniLockGuard lock(mu_);
+        if (stopping_ || listenFd_ < 0) {
+            fd = -1;
+        } else {
+            stopping_ = true;
+            fd = listenFd_;
+        }
+    }
+    if (fd >= 0) {
+        // shutdown() unblocks the acceptor's accept() immediately;
+        // close() alone is not guaranteed to.
+        ::shutdown(fd, SHUT_RDWR);
+    }
+    if (acceptor_.joinable())
+        acceptor_.join();
+    {
+        CniLockGuard lock(mu_);
+        if (listenFd_ >= 0) {
+            ::close(listenFd_);
+            listenFd_ = -1;
+        }
+    }
+}
+
+void
+HttpServer::acceptLoop()
+{
+    for (;;) {
+        int fd;
+        {
+            CniLockGuard lock(mu_);
+            if (stopping_)
+                return;
+            fd = listenFd_;
+        }
+        const int conn = ::accept(fd, nullptr, nullptr);
+        if (conn < 0) {
+            CniLockGuard lock(mu_);
+            if (stopping_)
+                return;
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            return; // listening socket is gone
+        }
+        serveConnection(conn);
+        ::close(conn);
+    }
+}
+
+void
+HttpServer::serveConnection(int fd)
+{
+    auto respond = [&](const HttpResponse &r) {
+        std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " +
+                          httpStatusText(r.status) + "\r\n";
+        out += "Content-Type: " + r.contentType + "\r\n";
+        out += "Content-Length: " + std::to_string(r.body.size()) +
+               "\r\n";
+        out += "Connection: close\r\n\r\n";
+        out += r.body;
+        sendAll(fd, out);
+    };
+
+    // Read up to the end of the header block.
+    std::string buf;
+    std::size_t headerEnd;
+    for (;;) {
+        headerEnd = buf.find("\r\n\r\n");
+        if (headerEnd != std::string::npos)
+            break;
+        if (buf.size() > kMaxHeaderBytes) {
+            respond({413, "application/json",
+                     "{\"error\":\"header block too large\"}"});
+            return;
+        }
+        if (!recvSome(fd, &buf))
+            return; // client went away mid-request
+    }
+
+    // Request line: METHOD SP PATH[?QUERY] SP VERSION
+    HttpRequest req;
+    {
+        const std::size_t lineEnd = buf.find("\r\n");
+        const std::string line = buf.substr(0, lineEnd);
+        const std::size_t sp1 = line.find(' ');
+        const std::size_t sp2 =
+            sp1 == std::string::npos ? sp1 : line.find(' ', sp1 + 1);
+        if (sp2 == std::string::npos) {
+            respond({400, "application/json",
+                     "{\"error\":\"malformed request line\"}"});
+            return;
+        }
+        if (line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+            respond({400, "application/json",
+                     "{\"error\":\"malformed request line\"}"});
+            return;
+        }
+        req.method = line.substr(0, sp1);
+        std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        const std::size_t q = target.find('?');
+        if (q != std::string::npos) {
+            req.query = target.substr(q + 1);
+            target.resize(q);
+        }
+        req.path = std::move(target);
+    }
+
+    // Headers: only Content-Length matters to this API.
+    std::size_t contentLength = 0;
+    {
+        std::size_t pos = buf.find("\r\n") + 2;
+        while (pos < headerEnd) {
+            std::size_t eol = buf.find("\r\n", pos);
+            const std::string line = buf.substr(pos, eol - pos);
+            pos = eol + 2;
+            const std::size_t colon = line.find(':');
+            if (colon == std::string::npos)
+                continue;
+            std::string name = line.substr(0, colon);
+            for (char &c : name)
+                c = char(std::tolower(static_cast<unsigned char>(c)));
+            if (name == "content-length") {
+                errno = 0;
+                char *end = nullptr;
+                const std::string v = line.substr(colon + 1);
+                const unsigned long long n =
+                    std::strtoull(v.c_str(), &end, 10);
+                if (errno == ERANGE || end == v.c_str()) {
+                    respond({400, "application/json",
+                             "{\"error\":\"bad Content-Length\"}"});
+                    return;
+                }
+                contentLength = std::size_t(n);
+            }
+        }
+    }
+    if (contentLength > maxBodyBytes_) {
+        respond({413, "application/json",
+                 "{\"error\":\"request body too large\"}"});
+        return;
+    }
+
+    // Body.
+    const std::size_t bodyStart = headerEnd + 4;
+    while (buf.size() - bodyStart < contentLength) {
+        if (!recvSome(fd, &buf))
+            return;
+    }
+    req.body = buf.substr(bodyStart, contentLength);
+
+    respond(handler_(req));
+}
+
+} // namespace cni::sweep

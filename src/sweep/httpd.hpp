@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 server for the sweep daemon — POSIX sockets, one
+ * acceptor thread, one request per connection (`Connection: close`).
+ *
+ * Deliberately small: the daemon's API is three endpoints exchanging
+ * JSON documents, so there is no keep-alive, no chunked transfer, no
+ * TLS. What it *is* careful about is hostile input: bounded request
+ * line, header block, and body sizes (oversize -> 413), strict
+ * Content-Length parsing, and a stop() that unblocks the acceptor via
+ * shutdown() on the listening socket so Ctrl-C never hangs.
+ *
+ * Request handling is serial in the acceptor thread. That is a
+ * feature, not a limitation: the expensive work (running machines)
+ * happens on the JobServer's worker pool, request handling is
+ * microseconds of JSON shuffling, and a serial loop cannot have
+ * connection-handler races.
+ */
+
+#ifndef CNI_SWEEP_HTTPD_HPP
+#define CNI_SWEEP_HTTPD_HPP
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "sim/thread_annotations.hpp"
+
+namespace cni::sweep
+{
+
+struct HttpRequest
+{
+    std::string method; //!< "GET", "POST", ...
+    std::string path;   //!< decoded-free path, e.g. "/jobs/job-1"
+    std::string query;  //!< raw query string without the '?'
+    std::string body;
+
+    /** Value of `name` in the query string, or `def`. */
+    std::string queryParam(const std::string &name,
+                           const std::string &def) const;
+};
+
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "application/json";
+    std::string body;
+};
+
+class HttpServer
+{
+  public:
+    using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+    explicit HttpServer(Handler handler,
+                        std::size_t maxBodyBytes = 1u << 20);
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /**
+     * Bind + listen on `host:port` (port 0 picks an ephemeral port —
+     * tests) and start the acceptor thread. False + `err` on failure.
+     */
+    bool start(const std::string &host, int port, std::string *err);
+
+    /** The bound port (after start); 0 before. */
+    int port() const;
+
+    /** Stop accepting, close the listening socket, join the acceptor. */
+    void stop();
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+
+    Handler handler_;
+    const std::size_t maxBodyBytes_;
+
+    mutable CniMutex mu_;
+    int listenFd_ CNI_GUARDED_BY(mu_) = -1;
+    int port_ CNI_GUARDED_BY(mu_) = 0;
+    bool stopping_ CNI_GUARDED_BY(mu_) = false;
+    std::thread acceptor_;
+};
+
+/** Status line text for the handful of codes the daemon uses. */
+const char *httpStatusText(int status);
+
+} // namespace cni::sweep
+
+#endif // CNI_SWEEP_HTTPD_HPP

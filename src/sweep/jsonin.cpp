@@ -1,0 +1,389 @@
+#include "sweep/jsonin.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace cni::sweep
+{
+
+namespace
+{
+
+/** Deep enough for any sane sweep spec, shallow enough for any stack. */
+constexpr int kMaxDepth = 64;
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *err)
+        : text_(text), err_(err)
+    {
+    }
+
+    bool
+    parseDocument(JsonValue *out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after JSON value");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &why)
+    {
+        if (err_ && err_->empty())
+            *err_ = "byte " + std::to_string(pos_) + ": " + why;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue *out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting deeper than " +
+                        std::to_string(kMaxDepth) + " levels");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        switch (c) {
+        case '{':
+            return parseObject(out, depth);
+        case '[':
+            return parseArray(out, depth);
+        case '"':
+            out->kind = JsonValue::Kind::String;
+            return parseString(&out->text);
+        case 't':
+            if (!literal("true"))
+                return fail("expected 'true'");
+            out->kind = JsonValue::Kind::Bool;
+            out->boolean = true;
+            return true;
+        case 'f':
+            if (!literal("false"))
+                return fail("expected 'false'");
+            out->kind = JsonValue::Kind::Bool;
+            out->boolean = false;
+            return true;
+        case 'n':
+            if (!literal("null"))
+                return fail("expected 'null'");
+            out->kind = JsonValue::Kind::Null;
+            return true;
+        default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber(out);
+            return fail(std::string("unexpected character '") + c + "'");
+        }
+    }
+
+    bool
+    parseObject(JsonValue *out, int depth)
+    {
+        out->kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key string");
+            std::string key;
+            if (!parseString(&key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':' after object key");
+            ++pos_;
+            skipWs();
+            JsonValue v;
+            if (!parseValue(&v, depth + 1))
+                return false;
+            out->members.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(JsonValue *out, int depth)
+    {
+        out->kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            JsonValue v;
+            if (!parseValue(&v, depth + 1))
+                return false;
+            out->items.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        ++pos_; // '"'
+        out->clear();
+        while (pos_ < text_.size()) {
+            const unsigned char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos_ + 1 >= text_.size())
+                    return fail("unterminated escape");
+                const char esc = text_[pos_ + 1];
+                pos_ += 2;
+                switch (esc) {
+                case '"': out->push_back('"'); break;
+                case '\\': out->push_back('\\'); break;
+                case '/': out->push_back('/'); break;
+                case 'b': out->push_back('\b'); break;
+                case 'f': out->push_back('\f'); break;
+                case 'n': out->push_back('\n'); break;
+                case 'r': out->push_back('\r'); break;
+                case 't': out->push_back('\t'); break;
+                case 'u': {
+                    unsigned cp = 0;
+                    if (!hex4(&cp))
+                        return false;
+                    appendUtf8(out, cp);
+                    break;
+                }
+                default:
+                    return fail("unknown escape sequence");
+                }
+                continue;
+            }
+            if (c < 0x20)
+                return fail("raw control character in string");
+            out->push_back(static_cast<char>(c));
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    hex4(unsigned *out)
+    {
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size())
+                return fail("unterminated \\u escape");
+            const char c = text_[pos_++];
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= unsigned(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= unsigned(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= unsigned(c - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+        }
+        *out = v;
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string *out, unsigned cp)
+    {
+        // BMP only; surrogates are passed through as-is (sweep specs
+        // are model names and integers, not emoji).
+        if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else {
+            out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        }
+    }
+
+    bool
+    parseNumber(JsonValue *out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        if (pos_ >= text_.size() || !std::isdigit(
+                static_cast<unsigned char>(text_[pos_])))
+            return fail("malformed number");
+        // No leading zeros: "01" is two tokens in JSON, reject it.
+        if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))
+            return fail("number has a leading zero");
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])))
+                return fail("malformed fraction");
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() || !std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])))
+                return fail("malformed exponent");
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        out->kind = JsonValue::Kind::Number;
+        out->text = text_.substr(start, pos_ - start);
+        out->number = std::strtod(out->text.c_str(), nullptr);
+        return true;
+    }
+
+    const std::string &text_;
+    std::string *err_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::get(const std::string &name) const
+{
+    for (const auto &[k, v] : members) {
+        if (k == name)
+            return &v;
+    }
+    return nullptr;
+}
+
+bool
+JsonValue::scalarText(std::string *out) const
+{
+    switch (kind) {
+    case Kind::String:
+    case Kind::Number:
+        *out = text;
+        return true;
+    case Kind::Bool:
+        *out = boolean ? "true" : "false";
+        return true;
+    default:
+        return false;
+    }
+}
+
+bool
+JsonValue::toInt(long long lo, long long hi, long long *out) const
+{
+    if (kind != Kind::Number)
+        return false;
+    // Integer syntax only: a fraction or exponent silently truncated
+    // would run a different experiment than the user asked for.
+    for (const char c : text) {
+        if (c == '.' || c == 'e' || c == 'E')
+            return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (errno == ERANGE || end == text.c_str() || *end != '\0')
+        return false;
+    if (v < lo || v > hi)
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+JsonValue::toU64(std::uint64_t *out) const
+{
+    if (kind != Kind::Number || (!text.empty() && text[0] == '-'))
+        return false;
+    for (const char c : text) {
+        if (c == '.' || c == 'e' || c == 'E')
+            return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno == ERANGE || end == text.c_str() || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseJson(const std::string &text, JsonValue *out, std::string *err)
+{
+    if (err)
+        err->clear();
+    Parser p(text, err);
+    return p.parseDocument(out);
+}
+
+} // namespace cni::sweep

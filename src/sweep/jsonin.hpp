@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal JSON reader for untrusted daemon input.
+ *
+ * The simulator only ever *wrote* JSON (sim/json.hpp); the sweep daemon
+ * is the first consumer of JSON arriving over a socket, so this is the
+ * matching reader: recursive descent over the RFC 8259 grammar, no
+ * dependencies, and defensive by construction — a hard nesting limit
+ * (malicious `[[[[...` must not smash the stack), strict number/escape
+ * syntax, and parse errors reported with a byte offset instead of a
+ * process-killing check. Failure is a normal return value: the daemon
+ * maps it to HTTP 400.
+ *
+ * Values keep what sweep needs: object member order is preserved (axis
+ * declaration order is meaningful), and numbers keep their raw source
+ * text so a value can be round-tripped into a canonical point key
+ * without float formatting drift.
+ */
+
+#ifndef CNI_SWEEP_JSONIN_HPP
+#define CNI_SWEEP_JSONIN_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cni::sweep
+{
+
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string text; //!< String: decoded value; Number: raw source text
+    std::vector<JsonValue> items; //!< Array elements
+    std::vector<std::pair<std::string, JsonValue>> members; //!< in order
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** First member with this name, or nullptr. */
+    const JsonValue *get(const std::string &name) const;
+
+    /**
+     * The value as the canonical parameter string: strings verbatim,
+     * numbers as their raw source text, booleans "true"/"false".
+     * Returns false for null/array/object.
+     */
+    bool scalarText(std::string *out) const;
+
+    /** Integer in [lo, hi]; false on non-number / fraction / overflow. */
+    bool toInt(long long lo, long long hi, long long *out) const;
+    bool toU64(std::uint64_t *out) const;
+};
+
+/**
+ * Parse one JSON document (with optional surrounding whitespace,
+ * trailing garbage rejected). On failure returns false and `err` gets
+ * "byte N: reason".
+ */
+bool parseJson(const std::string &text, JsonValue *out, std::string *err);
+
+} // namespace cni::sweep
+
+#endif // CNI_SWEEP_JSONIN_HPP

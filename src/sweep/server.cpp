@@ -1,0 +1,362 @@
+#include "sweep/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+#include "sim/json.hpp"
+
+namespace cni::sweep
+{
+
+namespace
+{
+
+std::string
+errorDoc(const std::string &message)
+{
+    JsonWriter w;
+    w.beginObject().key("error").value(message).endObject();
+    return w.str();
+}
+
+} // namespace
+
+JobServer::JobServer(ServerConfig cfg) : cfg_(cfg)
+{
+    const int n = std::max(1, cfg_.workers);
+    workers_.reserve(std::size_t(n));
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+JobServer::~JobServer()
+{
+    shutdown();
+}
+
+JobServer::Submit
+JobServer::submit(const std::string &specJson)
+{
+    Submit out;
+    auto bad = [&](const std::string &why) {
+        out.status = Submit::Status::BadSpec;
+        out.error = why;
+        return out;
+    };
+
+    JsonValue doc;
+    std::string why;
+    if (!parseJson(specJson, &doc, &why))
+        return bad("body is not valid JSON: " + why);
+    SweepSpec spec;
+    if (!SweepSpec::fromJson(doc, &spec, &why))
+        return bad(why);
+
+    std::vector<SweepPoint> points = spec.expand();
+    if (points.empty())
+        return bad("sweep expands to zero points");
+
+    // Validate every point up front: a malformed job must be refused
+    // whole at admission, not die point-by-point mid-run. Under
+    // allow_invalid, unbuildable cells are legitimate result rows
+    // (fig6's grid contains them by design) and skip the check.
+    if (!spec.allowInvalid) {
+        for (const SweepPoint &p : points) {
+            if (!validatePoint(p, &why))
+                return bad("point " + p.key + ": " + why);
+        }
+    }
+
+    CniLockGuard lock(mu_);
+    if (stopping_)
+        return bad("server is shutting down");
+
+    std::size_t uncached = 0;
+    for (const SweepPoint &p : points) {
+        if (cache_.find(p.key) == cache_.end())
+            ++uncached;
+    }
+    if (queue_.size() + inFlight_ + uncached > cfg_.queueCapacity) {
+        out.status = Submit::Status::QueueFull;
+        out.error = "queue full: " + std::to_string(uncached) +
+                    " new point(s) would exceed the capacity of " +
+                    std::to_string(cfg_.queueCapacity);
+        return out;
+    }
+
+    auto job = std::make_unique<Job>();
+    job->id = "job-" + std::to_string(nextJobId_++);
+    job->timeoutTicks = spec.timeoutTicks;
+    job->results.resize(points.size());
+    job->points = std::move(points);
+
+    Job *j = job.get();
+    for (std::size_t i = 0; i < j->points.size(); ++i) {
+        const auto hit = cache_.find(j->points[i].key);
+        if (hit != cache_.end()) {
+            j->results[i] = hit->second;
+            ++j->completed;
+            ++j->cached;
+        } else {
+            queue_.emplace_back(j, i);
+        }
+    }
+    while (j->completedPrefix < j->results.size() &&
+           j->results[j->completedPrefix])
+        ++j->completedPrefix;
+
+    out.status = Submit::Status::Accepted;
+    out.jobId = j->id;
+    out.points = j->points.size();
+    out.cached = j->cached;
+    jobs_.emplace(j->id, std::move(job));
+    cv_.notifyAll();
+    return out;
+}
+
+void
+JobServer::workerLoop()
+{
+    for (;;) {
+        Job *job = nullptr;
+        std::size_t idx = 0;
+        SweepPoint point;
+        Tick timeout = 0;
+        {
+            CniLockGuard lock(mu_);
+            while (queue_.empty() && !stopping_)
+                cv_.wait(mu_);
+            if (queue_.empty())
+                return; // stopping, nothing left to drain
+            job = queue_.front().first;
+            idx = queue_.front().second;
+            queue_.pop_front();
+            ++inFlight_;
+            point = job->points[idx];
+            timeout = job->timeoutTicks;
+        }
+
+        // The expensive part — outside the lock. runPoint never throws
+        // or aborts on malformed points; it returns an error row.
+        auto result =
+            std::make_shared<const PointResult>(runPoint(point, timeout));
+
+        {
+            CniLockGuard lock(mu_);
+            --inFlight_;
+            finishPoint(job, idx, std::move(result));
+            cv_.notifyAll();
+        }
+    }
+}
+
+void
+JobServer::finishPoint(Job *job, std::size_t idx,
+                       std::shared_ptr<const PointResult> result)
+{
+    cacheInsert(job->points[idx].key, result);
+    job->results[idx] = std::move(result);
+    ++job->completed;
+    while (job->completedPrefix < job->results.size() &&
+           job->results[job->completedPrefix])
+        ++job->completedPrefix;
+}
+
+void
+JobServer::cacheInsert(const std::string &key,
+                       std::shared_ptr<const PointResult> result)
+{
+    if (cache_.find(key) != cache_.end())
+        return; // same point raced in two jobs; first result stands
+    while (cache_.size() >= cfg_.cacheCapacity && !cacheOrder_.empty()) {
+        cache_.erase(cacheOrder_.front());
+        cacheOrder_.pop_front();
+    }
+    cacheOrder_.push_back(key);
+    cache_.emplace(key, std::move(result));
+}
+
+bool
+JobServer::jobStatus(const std::string &jobId, std::string *json) const
+{
+    CniLockGuard lock(mu_);
+    const auto it = jobs_.find(jobId);
+    if (it == jobs_.end())
+        return false;
+    const Job &j = *it->second;
+
+    std::size_t ok = 0, invalid = 0, timedOut = 0;
+    for (const auto &r : j.results) {
+        if (!r)
+            continue;
+        if (r->status == "ok")
+            ++ok;
+        else if (r->status == "invalid")
+            ++invalid;
+        else
+            ++timedOut;
+    }
+    const char *state = j.aborted ? "aborted"
+                        : j.completed == j.results.size() ? "done"
+                                                          : "running";
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("id").value(j.id);
+    w.key("state").value(state);
+    w.key("points").value(
+        static_cast<unsigned long long>(j.results.size()));
+    w.key("completed").value(static_cast<unsigned long long>(j.completed));
+    w.key("cached").value(static_cast<unsigned long long>(j.cached));
+    w.key("ok").value(static_cast<unsigned long long>(ok));
+    w.key("invalid").value(static_cast<unsigned long long>(invalid));
+    w.key("timeout").value(static_cast<unsigned long long>(timedOut));
+    w.endObject();
+    *json = w.str();
+    return true;
+}
+
+bool
+JobServer::jobResults(const std::string &jobId, std::size_t from,
+                      std::string *ndjson, std::size_t *next) const
+{
+    CniLockGuard lock(mu_);
+    const auto it = jobs_.find(jobId);
+    if (it == jobs_.end())
+        return false;
+    const Job &j = *it->second;
+
+    ndjson->clear();
+    const std::size_t end = j.completedPrefix;
+    for (std::size_t i = std::min(from, end); i < end; ++i) {
+        *ndjson += j.results[i]->doc;
+        *ndjson += '\n';
+    }
+    // An overshooting cursor is clamped back: the stream is only
+    // `end` lines long, and nothing between end and `from` was ever
+    // served, so polling from `end` later loses nothing.
+    *next = end;
+    return true;
+}
+
+void
+JobServer::shutdown()
+{
+    {
+        CniLockGuard lock(mu_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+        // Never-started points are dropped; their jobs stay queryable
+        // but report "aborted" so a poller does not wait forever.
+        for (const auto &[job, idx] : queue_)
+            job->aborted = true;
+        queue_.clear();
+        cv_.notifyAll();
+    }
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+std::size_t
+JobServer::cacheSize() const
+{
+    CniLockGuard lock(mu_);
+    return cache_.size();
+}
+
+// --- HTTP routing ----------------------------------------------------------
+
+HttpResponse
+routeRequest(JobServer &server, const HttpRequest &req)
+{
+    HttpResponse resp;
+
+    if (req.path == "/healthz") {
+        resp.body = "{\"ok\":true}";
+        return resp;
+    }
+
+    if (req.path == "/jobs") {
+        if (req.method != "POST") {
+            resp.status = 405;
+            resp.body = errorDoc("use POST /jobs to submit a sweep");
+            return resp;
+        }
+        const JobServer::Submit s = server.submit(req.body);
+        switch (s.status) {
+        case JobServer::Submit::Status::Accepted: {
+            JsonWriter w;
+            w.beginObject();
+            w.key("id").value(s.jobId);
+            w.key("points").value(
+                static_cast<unsigned long long>(s.points));
+            w.key("cached").value(
+                static_cast<unsigned long long>(s.cached));
+            w.endObject();
+            resp.body = w.str();
+            return resp;
+        }
+        case JobServer::Submit::Status::QueueFull:
+            resp.status = 429;
+            resp.body = errorDoc(s.error);
+            return resp;
+        case JobServer::Submit::Status::BadSpec:
+        default:
+            resp.status = 400;
+            resp.body = errorDoc(s.error);
+            return resp;
+        }
+    }
+
+    if (req.path.rfind("/jobs/", 0) == 0 && req.method == "GET") {
+        std::string rest = req.path.substr(6);
+        const bool wantResults = rest.size() > 8 &&
+            rest.compare(rest.size() - 8, 8, "/results") == 0;
+        if (wantResults)
+            rest.resize(rest.size() - 8);
+
+        if (wantResults) {
+            errno = 0;
+            const std::string fromStr = req.queryParam("from", "0");
+            char *end = nullptr;
+            const unsigned long long from =
+                std::strtoull(fromStr.c_str(), &end, 10);
+            if (errno == ERANGE || end == fromStr.c_str() ||
+                *end != '\0') {
+                resp.status = 400;
+                resp.body = errorDoc("'from' must be an integer");
+                return resp;
+            }
+            std::string ndjson;
+            std::size_t next = 0;
+            if (!server.jobResults(rest, std::size_t(from), &ndjson,
+                                   &next)) {
+                resp.status = 404;
+                resp.body = errorDoc("no such job '" + rest + "'");
+                return resp;
+            }
+            resp.contentType = "application/x-ndjson";
+            resp.body = std::move(ndjson);
+            return resp;
+        }
+
+        std::string json;
+        if (!server.jobStatus(rest, &json)) {
+            resp.status = 404;
+            resp.body = errorDoc("no such job '" + rest + "'");
+            return resp;
+        }
+        resp.body = std::move(json);
+        return resp;
+    }
+
+    resp.status = 404;
+    resp.body = errorDoc("no such endpoint (try POST /jobs, "
+                         "GET /jobs/<id>, GET /jobs/<id>/results)");
+    return resp;
+}
+
+} // namespace cni::sweep

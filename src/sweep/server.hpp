@@ -1,0 +1,159 @@
+/**
+ * @file
+ * JobServer: the sweep daemon's concurrent core.
+ *
+ * A job is one SweepSpec. Submission expands it, validates every point
+ * (a malformed spec is rejected as a value — the daemon maps it to
+ * HTTP 400 — unless the spec set allow_invalid, in which case
+ * unbuildable grid cells become "invalid" result rows), consults the
+ * content-keyed result cache, and enqueues only the missing points on
+ * a bounded host thread pool. Each worker builds and runs one Machine
+ * per point — machines are self-contained and deterministic, so points
+ * are embarrassingly parallel and a cached result is byte-identical to
+ * a fresh run.
+ *
+ * Degradation is explicit at every edge:
+ *  - admission is bounded: if a job's uncached points would overflow
+ *    the queue cap the whole job is refused (QueueFull -> HTTP 429),
+ *    never half-accepted;
+ *  - every point runs under the spec's simulated-tick budget, so a
+ *    wedged workload becomes a "timeout" row instead of a stuck worker;
+ *  - shutdown() drains in-flight points, drops never-started ones
+ *    (their jobs report state "aborted"), and joins the pool.
+ *
+ * Results stream in expansion order: jobResults() returns the
+ * completed *prefix* of the point list as NDJSON. Completion-order
+ * streaming would be faster to first byte but nondeterministic;
+ * prefix-order streaming makes two runs of the same job — and the
+ * equivalent bench binary's --points dump — byte-comparable with
+ * plain diff.
+ */
+
+#ifndef CNI_SWEEP_SERVER_HPP
+#define CNI_SWEEP_SERVER_HPP
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/thread_annotations.hpp"
+#include "sweep/httpd.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+
+namespace cni::sweep
+{
+
+struct ServerConfig
+{
+    int workers = 4; //!< host threads running points
+    std::size_t queueCapacity = 4096; //!< max queued (uncached) points
+    std::size_t cacheCapacity = 65536; //!< cached results (FIFO evict)
+};
+
+class JobServer
+{
+  public:
+    explicit JobServer(ServerConfig cfg);
+    ~JobServer(); //!< shutdown()
+
+    JobServer(const JobServer &) = delete;
+    JobServer &operator=(const JobServer &) = delete;
+
+    struct Submit
+    {
+        enum class Status
+        {
+            Accepted,
+            BadSpec,   //!< parse/validation failure -> 400
+            QueueFull, //!< admission refused -> 429
+        };
+        Status status = Status::BadSpec;
+        std::string jobId; //!< Accepted only
+        std::string error; //!< BadSpec/QueueFull: what happened
+        std::size_t points = 0; //!< expanded grid size
+        std::size_t cached = 0; //!< served from cache at submit
+    };
+
+    /** Parse, expand, validate, and enqueue one job. */
+    Submit submit(const std::string &specJson);
+
+    /**
+     * Job status as a JSON document:
+     * {"id","state","points","completed","cached","ok","invalid",
+     *  "timeout"}. False: no such job.
+     */
+    bool jobStatus(const std::string &jobId, std::string *json) const;
+
+    /**
+     * The completed prefix of the job's results, starting at point
+     * index `from`, as NDJSON (one result document per line).
+     * `*next` is the index to poll from next (== from when nothing new
+     * is ready). False: no such job.
+     */
+    bool jobResults(const std::string &jobId, std::size_t from,
+                    std::string *ndjson, std::size_t *next) const;
+
+    /** Stop intake, drain in-flight points, join the worker pool. */
+    void shutdown();
+
+    std::size_t cacheSize() const;
+
+  private:
+    struct Job
+    {
+        std::string id;
+        Tick timeoutTicks = 0;
+        std::vector<SweepPoint> points;
+        std::vector<std::shared_ptr<const PointResult>> results;
+        std::size_t completedPrefix = 0;
+        std::size_t completed = 0;
+        std::size_t cached = 0;
+        bool aborted = false;
+    };
+
+    void workerLoop();
+    void finishPoint(Job *job, std::size_t idx,
+                     std::shared_ptr<const PointResult> result)
+        CNI_REQUIRES(mu_);
+    void cacheInsert(const std::string &key,
+                     std::shared_ptr<const PointResult> result)
+        CNI_REQUIRES(mu_);
+
+    const ServerConfig cfg_;
+
+    mutable CniMutex mu_;
+    CniCondVar cv_;
+    bool stopping_ CNI_GUARDED_BY(mu_) = false;
+    std::uint64_t nextJobId_ CNI_GUARDED_BY(mu_) = 1;
+    std::map<std::string, std::unique_ptr<Job>> jobs_ CNI_GUARDED_BY(mu_);
+    /** (job, point index) work items, FIFO. */
+    std::deque<std::pair<Job *, std::size_t>> queue_ CNI_GUARDED_BY(mu_);
+    std::size_t inFlight_ CNI_GUARDED_BY(mu_) = 0;
+    std::unordered_map<std::string, std::shared_ptr<const PointResult>>
+        cache_ CNI_GUARDED_BY(mu_);
+    std::deque<std::string> cacheOrder_ CNI_GUARDED_BY(mu_);
+    std::vector<std::thread> workers_; //!< set in ctor, joined once
+};
+
+/**
+ * The daemon's HTTP API over a JobServer:
+ *
+ *   POST /jobs                  submit a SweepSpec -> {"id",...}
+ *   GET  /jobs/<id>             status document
+ *   GET  /jobs/<id>/results     completed-prefix NDJSON (?from=N)
+ *   GET  /healthz               liveness probe
+ *
+ * Pure routing — kept separate from the socket layer so tests can
+ * drive the whole API in-process.
+ */
+HttpResponse routeRequest(JobServer &server, const HttpRequest &req);
+
+} // namespace cni::sweep
+
+#endif // CNI_SWEEP_SERVER_HPP

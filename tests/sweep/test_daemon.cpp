@@ -1,0 +1,464 @@
+/**
+ * @file
+ * Sweep daemon integration tests, in two layers.
+ *
+ * JobServer + routeRequest are driven in-process: submit/poll/stream,
+ * the ?from cursor, resubmission served entirely from cache, bad specs
+ * as 400s, a full queue as 429, unknown jobs as 404s, and the central
+ * byte-identity contract — the daemon's NDJSON result stream equals
+ * what runPoint() produces for the same expanded points (which is what
+ * the benches' --points files contain).
+ *
+ * HttpServer is then driven over a real loopback socket (port 0) with
+ * a raw hand-rolled client, covering the wire layer: framing, status
+ * lines, Content-Length bodies, oversize and malformed requests, and
+ * clean stop().
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "sweep/httpd.hpp"
+#include "sweep/jsonin.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/server.hpp"
+#include "sweep/spec.hpp"
+
+namespace cni::sweep
+{
+namespace
+{
+
+/** A fast two-point roundtrip sweep (distinct byte sizes). */
+const char *const kTinySpec =
+    R"({"workload": "roundtrip",
+        "base": {"nodes": 2, "ni": "CNI4", "placement": "memory",
+                 "rounds": 2, "warmup": 1},
+        "axes": [{"name": "bytes", "values": [8, 16]}]})";
+
+std::string
+fieldOf(const std::string &json, const std::string &name)
+{
+    JsonValue doc;
+    std::string err;
+    EXPECT_TRUE(parseJson(json, &doc, &err)) << err << ": " << json;
+    const JsonValue *v = doc.get(name);
+    EXPECT_NE(v, nullptr) << name << " missing from " << json;
+    if (!v)
+        return "";
+    std::string text;
+    EXPECT_TRUE(v->scalarText(&text));
+    return text;
+}
+
+HttpResponse
+call(JobServer &server, const std::string &method,
+     const std::string &path, const std::string &body = "",
+     const std::string &query = "")
+{
+    HttpRequest req;
+    req.method = method;
+    req.path = path;
+    req.query = query;
+    req.body = body;
+    return routeRequest(server, req);
+}
+
+/** Poll status until the job reports `done` (bounded host time). */
+std::string
+awaitDone(JobServer &server, const std::string &jobId)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    for (;;) {
+        const HttpResponse r = call(server, "GET", "/jobs/" + jobId);
+        EXPECT_EQ(r.status, 200) << r.body;
+        if (fieldOf(r.body, "state") == "done")
+            return r.body;
+        if (std::chrono::steady_clock::now() > deadline) {
+            ADD_FAILURE() << "job never completed: " << r.body;
+            return r.body;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+}
+
+TEST(JobServer, SubmitPollStream)
+{
+    JobServer server({.workers = 2});
+    const HttpResponse accept =
+        call(server, "POST", "/jobs", kTinySpec);
+    ASSERT_EQ(accept.status, 200) << accept.body;
+    const std::string id = fieldOf(accept.body, "id");
+    EXPECT_EQ(fieldOf(accept.body, "points"), "2");
+    EXPECT_EQ(fieldOf(accept.body, "cached"), "0");
+
+    const std::string status = awaitDone(server, id);
+    EXPECT_EQ(fieldOf(status, "completed"), "2");
+    EXPECT_EQ(fieldOf(status, "ok"), "2");
+    EXPECT_EQ(fieldOf(status, "invalid"), "0");
+    EXPECT_EQ(fieldOf(status, "timeout"), "0");
+
+    const HttpResponse results =
+        call(server, "GET", "/jobs/" + id + "/results");
+    ASSERT_EQ(results.status, 200);
+    EXPECT_EQ(results.contentType, "application/x-ndjson");
+    // Two lines, in expansion order (bytes=8 then bytes=16).
+    const std::size_t nl = results.body.find('\n');
+    ASSERT_NE(nl, std::string::npos);
+    EXPECT_EQ(results.body.back(), '\n');
+    const std::string first = results.body.substr(0, nl);
+    EXPECT_NE(first.find("\"bytes\":\"8\""), std::string::npos) << first;
+    EXPECT_NE(first.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(JobServer, ResultsCursorResumesWhereItStopped)
+{
+    JobServer server({.workers = 2});
+    const HttpResponse accept =
+        call(server, "POST", "/jobs", kTinySpec);
+    ASSERT_EQ(accept.status, 200) << accept.body;
+    const std::string id = fieldOf(accept.body, "id");
+    awaitDone(server, id);
+
+    std::string all, fromOne;
+    std::size_t next = 0;
+    ASSERT_TRUE(server.jobResults(id, 0, &all, &next));
+    EXPECT_EQ(next, 2u);
+    ASSERT_TRUE(server.jobResults(id, 1, &fromOne, &next));
+    EXPECT_EQ(next, 2u);
+    // The cursor slices the same stream: line 2 == tail of the full
+    // stream, and reading past the end yields nothing more.
+    EXPECT_EQ(all.substr(all.find('\n') + 1), fromOne);
+    std::string past;
+    ASSERT_TRUE(server.jobResults(id, 2, &past, &next));
+    EXPECT_TRUE(past.empty());
+    EXPECT_EQ(next, 2u);
+    // An absurd cursor is clamped, not an error.
+    ASSERT_TRUE(server.jobResults(id, 999, &past, &next));
+    EXPECT_EQ(next, 2u);
+}
+
+TEST(JobServer, StreamMatchesStandaloneRunnerByteForByte)
+{
+    // The contract the benches' --points files rely on: the daemon's
+    // NDJSON is exactly what runPoint() renders for the same spec.
+    JsonValue doc;
+    std::string err, why;
+    ASSERT_TRUE(parseJson(kTinySpec, &doc, &err)) << err;
+    SweepSpec spec;
+    ASSERT_TRUE(SweepSpec::fromJson(doc, &spec, &why)) << why;
+    std::string expected;
+    for (const SweepPoint &p : spec.expand()) {
+        expected += runPoint(p, spec.timeoutTicks).doc;
+        expected += '\n';
+    }
+
+    JobServer server({.workers = 2});
+    const HttpResponse accept =
+        call(server, "POST", "/jobs", kTinySpec);
+    ASSERT_EQ(accept.status, 200) << accept.body;
+    const std::string id = fieldOf(accept.body, "id");
+    awaitDone(server, id);
+    const HttpResponse results =
+        call(server, "GET", "/jobs/" + id + "/results");
+    EXPECT_EQ(results.body, expected);
+}
+
+TEST(JobServer, ResubmitIsServedEntirelyFromCache)
+{
+    JobServer server({.workers = 2});
+    const HttpResponse first =
+        call(server, "POST", "/jobs", kTinySpec);
+    ASSERT_EQ(first.status, 200) << first.body;
+    const std::string firstId = fieldOf(first.body, "id");
+    awaitDone(server, firstId);
+    EXPECT_EQ(server.cacheSize(), 2u);
+    std::string firstBody;
+    std::size_t next = 0;
+    ASSERT_TRUE(server.jobResults(firstId, 0, &firstBody, &next));
+
+    const HttpResponse again =
+        call(server, "POST", "/jobs", kTinySpec);
+    ASSERT_EQ(again.status, 200) << again.body;
+    EXPECT_EQ(fieldOf(again.body, "cached"), "2");
+    const std::string againId = fieldOf(again.body, "id");
+    EXPECT_NE(againId, firstId);
+    // Fully cached: done without any worker involvement, and the
+    // stream is byte-identical to the first job's.
+    const HttpResponse status =
+        call(server, "GET", "/jobs/" + againId);
+    EXPECT_EQ(fieldOf(status.body, "state"), "done");
+    EXPECT_EQ(fieldOf(status.body, "cached"), "2");
+    std::string againBody;
+    ASSERT_TRUE(server.jobResults(againId, 0, &againBody, &next));
+    EXPECT_EQ(againBody, firstBody);
+}
+
+TEST(JobServer, SpellingDifferencesStillHitTheCache)
+{
+    // Same points, declared differently: axis order flipped and a
+    // base parameter moved into a one-value axis.
+    const char *respelled =
+        R"({"workload": "roundtrip",
+            "base": {"ni": "CNI4", "placement": "memory",
+                     "rounds": 2, "warmup": 1},
+            "axes": [{"name": "nodes", "values": ["2"]},
+                     {"name": "bytes", "values": ["16", "8"]}]})";
+    JobServer server({.workers = 2});
+    const HttpResponse first =
+        call(server, "POST", "/jobs", kTinySpec);
+    ASSERT_EQ(first.status, 200) << first.body;
+    awaitDone(server, fieldOf(first.body, "id"));
+
+    const HttpResponse again =
+        call(server, "POST", "/jobs", respelled);
+    ASSERT_EQ(again.status, 200) << again.body;
+    EXPECT_EQ(fieldOf(again.body, "cached"), "2");
+}
+
+TEST(JobServer, BadSpecsAre400NotDaemonDeath)
+{
+    JobServer server({.workers = 1});
+    // Unparseable JSON.
+    EXPECT_EQ(call(server, "POST", "/jobs", "{nope").status, 400);
+    // Parseable, structurally wrong.
+    EXPECT_EQ(call(server, "POST", "/jobs", R"({"workload": 7})").status,
+              400);
+    // Well-formed spec whose points cannot build.
+    const HttpResponse r = call(
+        server, "POST", "/jobs",
+        R"({"workload": "roundtrip",
+            "base": {"nodes": 2, "ni": "NoSuchNI"}})");
+    EXPECT_EQ(r.status, 400);
+    EXPECT_NE(r.body.find("NoSuchNI"), std::string::npos) << r.body;
+    // ... unless the spec opted into invalid rows.
+    const HttpResponse ok = call(
+        server, "POST", "/jobs",
+        R"({"workload": "roundtrip",
+            "base": {"nodes": 2, "ni": "NoSuchNI"},
+            "allow_invalid": true})");
+    ASSERT_EQ(ok.status, 200) << ok.body;
+    const std::string status =
+        awaitDone(server, fieldOf(ok.body, "id"));
+    EXPECT_EQ(fieldOf(status, "invalid"), "1");
+}
+
+TEST(JobServer, OverflowingJobIsRefusedWholeWith429)
+{
+    // Queue capacity 1, job of 2 uncached points: admission refuses
+    // the whole job rather than accepting half a sweep.
+    JobServer server({.workers = 1, .queueCapacity = 1});
+    const HttpResponse r = call(server, "POST", "/jobs", kTinySpec);
+    EXPECT_EQ(r.status, 429);
+
+    // A job that fits still goes through afterwards.
+    const HttpResponse ok = call(
+        server, "POST", "/jobs",
+        R"({"workload": "roundtrip",
+            "base": {"nodes": 2, "ni": "CNI4", "placement": "memory",
+                     "rounds": 2, "warmup": 1, "bytes": 8}})");
+    ASSERT_EQ(ok.status, 200) << ok.body;
+    awaitDone(server, fieldOf(ok.body, "id"));
+}
+
+TEST(JobServer, UnknownJobsAndEndpointsAre404)
+{
+    JobServer server({.workers = 1});
+    EXPECT_EQ(call(server, "GET", "/jobs/job-999").status, 404);
+    EXPECT_EQ(call(server, "GET", "/jobs/job-999/results").status, 404);
+    EXPECT_EQ(call(server, "GET", "/nope").status, 404);
+    EXPECT_EQ(call(server, "GET", "/jobs").status, 405);
+    EXPECT_EQ(call(server, "GET", "/healthz").status, 200);
+    JobServer *s = &server;
+    HttpRequest bad;
+    bad.method = "GET";
+    bad.path = "/jobs/job-1/results";
+    bad.query = "from=banana";
+    EXPECT_EQ(routeRequest(*s, bad).status, 400);
+}
+
+// --- wire layer -------------------------------------------------------------
+
+/** One raw HTTP/1.1 request over loopback; returns the full response. */
+std::string
+rawRequest(int port, const std::string &wire)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0)
+        << std::strerror(errno);
+    std::size_t off = 0;
+    while (off < wire.size()) {
+        const ssize_t n = ::send(fd, wire.data() + off,
+                                 wire.size() - off, 0);
+        if (n <= 0)
+            break;
+        off += std::size_t(n);
+    }
+    std::string resp;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0)
+            break;
+        resp.append(buf, std::size_t(n));
+    }
+    ::close(fd);
+    return resp;
+}
+
+std::string
+request(int port, const std::string &method, const std::string &path,
+        const std::string &body = "")
+{
+    std::string wire = method + " " + path + " HTTP/1.1\r\n"
+                       "Host: 127.0.0.1\r\n";
+    if (!body.empty())
+        wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    wire += "Connection: close\r\n\r\n" + body;
+    return rawRequest(port, wire);
+}
+
+int
+statusOf(const std::string &response)
+{
+    // "HTTP/1.1 NNN ..."
+    if (response.size() < 12)
+        return -1;
+    return std::atoi(response.c_str() + 9);
+}
+
+std::string
+bodyOf(const std::string &response)
+{
+    const std::size_t split = response.find("\r\n\r\n");
+    return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+TEST(HttpServer, ServesTheApiOverARealSocket)
+{
+    JobServer jobs({.workers = 2});
+    HttpServer http(
+        [&jobs](const HttpRequest &req) {
+            return routeRequest(jobs, req);
+        });
+    std::string err;
+    ASSERT_TRUE(http.start("127.0.0.1", 0, &err)) << err;
+    const int port = http.port();
+    ASSERT_GT(port, 0);
+
+    EXPECT_EQ(bodyOf(request(port, "GET", "/healthz")), "{\"ok\":true}");
+
+    const std::string accept =
+        request(port, "POST", "/jobs", kTinySpec);
+    ASSERT_EQ(statusOf(accept), 200) << accept;
+    const std::string id = fieldOf(bodyOf(accept), "id");
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    for (;;) {
+        const std::string status =
+            request(port, "GET", "/jobs/" + id);
+        ASSERT_EQ(statusOf(status), 200) << status;
+        if (fieldOf(bodyOf(status), "state") == "done")
+            break;
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+
+    const std::string results =
+        request(port, "GET", "/jobs/" + id + "/results?from=1");
+    EXPECT_EQ(statusOf(results), 200);
+    EXPECT_NE(results.find("application/x-ndjson"), std::string::npos);
+    EXPECT_NE(bodyOf(results).find("\"bytes\":\"16\""),
+              std::string::npos);
+
+    EXPECT_EQ(statusOf(request(port, "POST", "/jobs", "{nope")), 400);
+    EXPECT_EQ(statusOf(request(port, "GET", "/jobs/job-999")), 404);
+
+    http.stop();
+    jobs.shutdown();
+}
+
+TEST(HttpServer, RejectsOversizeAndMalformedRequests)
+{
+    HttpServer http(
+        [](const HttpRequest &) {
+            return HttpResponse{};
+        },
+        /*maxBodyBytes=*/64);
+    std::string err;
+    ASSERT_TRUE(http.start("127.0.0.1", 0, &err)) << err;
+    const int port = http.port();
+
+    EXPECT_EQ(statusOf(request(port, "POST", "/jobs",
+                               std::string(65, 'x'))),
+              413);
+    EXPECT_EQ(statusOf(rawRequest(port, "this is not http\r\n\r\n")),
+              400);
+    EXPECT_EQ(statusOf(rawRequest(port,
+                                  "POST /jobs HTTP/1.1\r\n"
+                                  "Content-Length: banana\r\n\r\n")),
+              400);
+    http.stop();
+}
+
+TEST(HttpServer, StopUnblocksTheAcceptorPromptly)
+{
+    HttpServer http([](const HttpRequest &) {
+        return HttpResponse{};
+    });
+    std::string err;
+    ASSERT_TRUE(http.start("127.0.0.1", 0, &err)) << err;
+    const auto t0 = std::chrono::steady_clock::now();
+    http.stop();
+    EXPECT_LT(std::chrono::steady_clock::now() - t0,
+              std::chrono::seconds(5));
+    // Idempotent.
+    http.stop();
+}
+
+TEST(JobServer, ShutdownAbortsQueuedWorkAndReportsIt)
+{
+    // Zero-worker trick is impossible (ctor clamps to 1), so instead
+    // use one worker and a job big enough that some points are still
+    // queued when shutdown lands; either way the state machine must
+    // end in "done" or "aborted", never a hang.
+    auto server = std::make_unique<JobServer>(
+        ServerConfig{.workers = 1, .queueCapacity = 4096});
+    const HttpResponse accept = call(
+        *server, "POST", "/jobs",
+        R"({"workload": "roundtrip",
+            "base": {"nodes": 2, "ni": "CNI4", "placement": "memory",
+                     "rounds": 2, "warmup": 1},
+            "axes": [{"name": "bytes",
+                      "values": [8, 16, 24, 32, 40, 48, 56, 64]}]})");
+    ASSERT_EQ(accept.status, 200) << accept.body;
+    const std::string id = fieldOf(accept.body, "id");
+    server->shutdown();
+    const HttpResponse status = call(*server, "GET", "/jobs/" + id);
+    ASSERT_EQ(status.status, 200);
+    const std::string state = fieldOf(status.body, "state");
+    EXPECT_TRUE(state == "done" || state == "aborted") << status.body;
+    // Intake is closed after shutdown.
+    EXPECT_EQ(call(*server, "POST", "/jobs", kTinySpec).status, 400);
+}
+
+} // namespace
+} // namespace cni::sweep

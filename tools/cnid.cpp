@@ -1,0 +1,132 @@
+/**
+ * @file
+ * cnid — the sweep daemon. A long-running job server that accepts
+ * parameter sweeps over HTTP/JSON and fans their points across a
+ * bounded host thread pool, one self-contained Machine per point.
+ *
+ *   cnid [--host A] [--port N] [--workers N] [--queue N]
+ *
+ *   POST /jobs                submit a SweepSpec (see sweep/spec.hpp)
+ *                             -> {"id":"job-1","points":N,"cached":M}
+ *                             -> 400 on a malformed spec, 429 when the
+ *                                queue is full
+ *   GET  /jobs/<id>           -> status + progress counters
+ *   GET  /jobs/<id>/results   -> completed-prefix NDJSON; ?from=N
+ *                                resumes an earlier poll
+ *   GET  /healthz             -> {"ok":true}
+ *
+ * Completed points are cached by content key, so resubmitting a sweep
+ * (or submitting one that overlaps a previous grid) is served from
+ * cache — the daemon is an incremental sweep engine, not a batch
+ * runner. SIGINT/SIGTERM drain in-flight points and exit cleanly.
+ */
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "sim/logging.hpp"
+#include "sweep/server.hpp"
+
+using namespace cni;
+
+namespace
+{
+
+// Signal handlers may only touch async-signal-safe state: write one
+// byte into a self-pipe and let main() do the real shutdown.
+int gStopPipe[2] = {-1, -1};
+
+extern "C" void
+onStopSignal(int)
+{
+    const char byte = 1;
+    // The return value is irrelevant: either the byte lands and main
+    // wakes, or the pipe is already full of stop requests.
+    [[maybe_unused]] const ssize_t n =
+        ::write(gStopPipe[1], &byte, 1);
+}
+
+int
+parseFlagInt(const char *flag, const char *value, long lo, long hi)
+{
+    char *end = nullptr;
+    const long n = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || n < lo || n > hi)
+        cni_fatal("%s wants an integer in [%ld, %ld], got '%s'", flag,
+                  lo, hi, value);
+    return int(n);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    int port = 8377;
+    sweep::ServerConfig cfg;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto need = [&]() -> const char * {
+            if (i + 1 >= argc)
+                cni_fatal("%s needs an argument", a.c_str());
+            return argv[++i];
+        };
+        if (a == "--host") {
+            host = need();
+        } else if (a == "--port") {
+            port = parseFlagInt("--port", need(), 0, 65535);
+        } else if (a == "--workers") {
+            cfg.workers = parseFlagInt("--workers", need(), 1, 4096);
+        } else if (a == "--queue") {
+            cfg.queueCapacity = std::size_t(
+                parseFlagInt("--queue", need(), 1, 1 << 20));
+        } else if (a == "--help" || a == "-h") {
+            std::printf("usage: cnid [--host A] [--port N] "
+                        "[--workers N] [--queue N]\n"
+                        "  POST /jobs, GET /jobs/<id>, "
+                        "GET /jobs/<id>/results, GET /healthz\n");
+            return 0;
+        } else {
+            cni_fatal("unknown flag %s (try --help)", a.c_str());
+        }
+    }
+
+    if (::pipe(gStopPipe) != 0)
+        cni_fatal("pipe: %s", std::strerror(errno));
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    sweep::JobServer jobs(cfg);
+    sweep::HttpServer http(
+        [&jobs](const sweep::HttpRequest &req) {
+            return sweep::routeRequest(jobs, req);
+        });
+    std::string err;
+    if (!http.start(host, port, &err))
+        cni_fatal("cannot listen on %s:%d: %s", host.c_str(), port,
+                  err.c_str());
+    std::printf("cnid listening on %s:%d (%d workers, queue %zu)\n",
+                host.c_str(), http.port(), cfg.workers,
+                cfg.queueCapacity);
+    std::fflush(stdout);
+
+    // Park until a stop signal lands in the self-pipe.
+    char byte;
+    while (::read(gStopPipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+
+    std::printf("cnid: draining in-flight work\n");
+    std::fflush(stdout);
+    http.stop();
+    jobs.shutdown();
+    return 0;
+}
